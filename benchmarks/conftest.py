@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks operate at a reduced Mandelbrot window (the cluster
+calibration keeps the paper's virtual timescale and communication
+balance, so table/figure *shapes* are preserved) and print the
+regenerated artifact once per session so `pytest benchmarks/
+--benchmark-only` doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import paper_workload
+
+#: Reduced window used by the benchmark harness (quarter scale).
+BENCH_WIDTH = 1000
+BENCH_HEIGHT = 500
+
+
+@pytest.fixture(scope="session")
+def bench_workload():
+    wl = paper_workload(width=BENCH_WIDTH, height=BENCH_HEIGHT)
+    wl.costs()  # warm the cost cache outside the timed region
+    return wl

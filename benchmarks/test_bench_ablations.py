@@ -1,0 +1,128 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are not paper artifacts; they quantify the knobs the paper
+leaves as parameters:
+
+* FSS rounding mode (the half-even choice that reproduces Table 1);
+* ACP scale factor (classic integer division vs the Sec. 5.2 fix);
+* sampling frequency ``S_f``;
+* CSS chunk-size sweep (communication/imbalance trade-off);
+* master service-time sweep (the contention behind the p = 2 dip).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import chunk_sequence, chunk_stats
+from repro.core.acp import AcpModel
+from repro.experiments import paper_cluster
+from repro.simulation import simulate
+from repro.workloads import ReorderedWorkload
+
+
+class TestFssRounding:
+    @pytest.mark.parametrize("rounding", ["half-even", "ceil", "floor"])
+    def test_bench_rounding_mode(self, benchmark, rounding):
+        sizes = benchmark(
+            chunk_sequence, "FSS", 100_000, 8, rounding=rounding
+        )
+        stats = chunk_stats(sizes)
+        assert stats.total == 100_000
+        # All modes agree on chunk count to within a couple of stages.
+        assert stats.count < 200
+
+
+class TestAcpScale:
+    @pytest.mark.parametrize("scale", [1, 10, 100])
+    def test_bench_acp_scale(self, benchmark, bench_workload, scale,
+                             capsys):
+        """Sec. 5.2-I: scale=1 starves loaded PEs; 10/100 do not."""
+        from repro.experiments import overload_pattern
+
+        model = AcpModel(scale=scale)
+        cluster = paper_cluster(
+            bench_workload, overloaded=overload_pattern(8)
+        )
+        result = benchmark.pedantic(
+            simulate,
+            args=("DTSS", bench_workload, cluster),
+            kwargs=dict(acp_model=model),
+            rounds=2,
+            iterations=1,
+        )
+        assert result.total_iterations == bench_workload.size
+        idle = sum(1 for w in result.workers if w.iterations == 0)
+        if scale == 1:
+            # Classic model: the loaded slow PEs floor to ACP 0 and are
+            # excluded -- work concentrates on the remaining PEs.
+            assert idle >= 1
+        elif scale == 10:
+            # The paper's recommended scale: every PE participates.
+            assert idle == 0
+        else:
+            # Over-scaling (A ~ I) collapses chunk granularity: early
+            # requesters drain the loop before late ones arrive.  This
+            # is why the paper suggests 10, not "as large as possible".
+            assert result.total_chunks <= 12
+        with capsys.disabled():
+            print(f"\n  scale={scale}: T_p={result.t_p:.1f}s, "
+                  f"idle PEs={idle}, chunks={result.total_chunks}")
+
+
+class TestSamplingFrequency:
+    @pytest.mark.parametrize("sf", [1, 2, 4, 8, 16])
+    def test_bench_sf_sweep(self, benchmark, small_inner, sf, capsys):
+        wl = ReorderedWorkload(small_inner, sf=sf)
+        cluster = paper_cluster(wl)
+        result = benchmark.pedantic(
+            simulate, args=("TSS", wl, cluster), rounds=2, iterations=1
+        )
+        assert result.total_iterations == wl.size
+        with capsys.disabled():
+            print(f"\n  S_f={sf}: T_p={result.t_p:.1f}s "
+                  f"imbalance={result.comp_imbalance():.2f}")
+
+    @pytest.fixture(scope="class")
+    def small_inner(self):
+        from repro.workloads import MandelbrotWorkload
+
+        wl = MandelbrotWorkload(1000, 500, max_iter=64)
+        wl.costs()
+        return wl
+
+
+class TestChunkSizeSweep:
+    @pytest.mark.parametrize("k", [1, 8, 64, 256])
+    def test_bench_css_k(self, benchmark, bench_workload, k, capsys):
+        """CSS trade-off: small k = many messages, big k = imbalance."""
+        cluster = paper_cluster(bench_workload)
+        result = benchmark.pedantic(
+            simulate,
+            args=(f"CSS({k})", bench_workload, cluster),
+            rounds=2,
+            iterations=1,
+        )
+        assert result.total_iterations == bench_workload.size
+        with capsys.disabled():
+            print(f"\n  k={k}: T_p={result.t_p:.1f}s "
+                  f"chunks={result.total_chunks}")
+
+
+class TestMasterService:
+    @pytest.mark.parametrize("service_ms", [0.1, 1.0, 10.0, 100.0])
+    def test_bench_master_service(self, benchmark, bench_workload,
+                                  service_ms, capsys):
+        """Master contention sweep: service time inflates T_p for
+        message-heavy schemes."""
+        cluster = paper_cluster(bench_workload)
+        cluster.master_service = service_ms / 1000.0
+        result = benchmark.pedantic(
+            simulate,
+            args=("GSS", bench_workload, cluster),
+            rounds=2,
+            iterations=1,
+        )
+        assert result.total_iterations == bench_workload.size
+        with capsys.disabled():
+            print(f"\n  service={service_ms}ms: T_p={result.t_p:.1f}s")

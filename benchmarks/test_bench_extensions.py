@@ -1,0 +1,98 @@
+"""Benches for the extensions: AS vs TreeS, replication, failures,
+shared segments.
+
+Not paper artifacts -- these quantify the repository's additions so
+their costs and effects are on the record next to the reproduction
+benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import paper_cluster, replicate
+from repro.simulation import (
+    ClusterSpec,
+    NodeSpec,
+    simulate,
+    simulate_affinity,
+    simulate_tree,
+)
+
+
+def test_bench_affinity_vs_trees(benchmark, bench_workload, capsys):
+    cluster = paper_cluster(bench_workload)
+    result = benchmark.pedantic(
+        simulate_affinity,
+        args=(bench_workload, cluster),
+        kwargs=dict(weighted=True),
+        rounds=2,
+        iterations=1,
+    )
+    tree = simulate_tree(bench_workload, cluster, weighted=True,
+                         grain=8)
+    assert result.total_iterations == bench_workload.size
+    with capsys.disabled():
+        print(f"\n  AS  T_p={result.t_p:.1f}s steals="
+              f"{result.rederivations}")
+        print(f"  TreeS T_p={tree.t_p:.1f}s steals="
+              f"{tree.rederivations}")
+
+
+def test_bench_replicated_comparison(benchmark, bench_workload, capsys):
+    stats = benchmark.pedantic(
+        replicate.replicated_comparison,
+        kwargs=dict(
+            schemes=("TSS", "DTSS", "DFISS"),
+            replications=5,
+            workload=bench_workload,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_name = {s.scheme: s for s in stats}
+    assert by_name["DTSS"].mean < by_name["TSS"].mean
+    with capsys.disabled():
+        print()
+        for s in sorted(stats, key=lambda s: s.mean):
+            print(f"  {s.scheme:6s} mean={s.mean:5.1f}s "
+                  f"std={s.std:4.1f}")
+
+
+@pytest.mark.parametrize("fail_time", [2.0, 10.0])
+def test_bench_failure_recovery(benchmark, bench_workload, fail_time,
+                                capsys):
+    """Cost of losing a fast PE early vs late in the run."""
+    cluster = paper_cluster(bench_workload)
+    cluster.nodes[0].fails_at = fail_time
+    result = benchmark.pedantic(
+        simulate,
+        args=("DTSS", bench_workload, cluster),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.total_iterations == bench_workload.size
+    with capsys.disabled():
+        print(f"\n  fast1 dies at t={fail_time}s: "
+              f"T_p={result.t_p:.1f}s")
+
+
+@pytest.mark.parametrize("shared", [False, True])
+def test_bench_shared_segment(benchmark, bench_workload, shared,
+                              capsys):
+    """Switched links vs one shared 10 Mb/s hub for the slow nodes."""
+    cluster = paper_cluster(bench_workload)
+    if shared:
+        for node in cluster.nodes:
+            if node.name.startswith("slow"):
+                node.segment = "hub10"
+    result = benchmark.pedantic(
+        simulate,
+        args=("TSS", bench_workload, cluster),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.total_iterations == bench_workload.size
+    with capsys.disabled():
+        kind = "shared hub" if shared else "switched"
+        print(f"\n  {kind}: T_p={result.t_p:.1f}s")

@@ -1,0 +1,55 @@
+"""Bench F1/F2: the Mandelbrot workload profile and fractal.
+
+Figure 1's content is the per-column basic-computation profile of the
+1200x1200 window, original and reordered with ``S_f = 4``.  The timed
+kernel is the full vectorized escape-count pass (the library's hottest
+numeric path).  The printed artifact is the block-profile series plus
+the reordering's smoothing factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figures
+from repro.workloads import MandelbrotWorkload
+
+
+def test_bench_figure1_profile(benchmark, capsys):
+    data = benchmark.pedantic(
+        figures.figure1,
+        kwargs=dict(width=1200, height=1200, max_iter=64, sf=4),
+        rounds=2,
+        iterations=1,
+    )
+    orig, reord = data["original"], data["reordered"]
+    # Figure 1's qualitative content: the profile is strongly irregular
+    # and reordering smooths contiguous windows toward the mean.
+    assert orig.max() > 3 * orig.min()
+
+    def worst_window(v, w=150):
+        sums = np.convolve(v, np.ones(w), mode="valid")
+        return sums.max() / (v.mean() * w)
+
+    smoothing = worst_window(orig) / worst_window(reord)
+    assert smoothing > 1.0
+    with capsys.disabled():
+        print()
+        print("Figure 1 -- per-column basic computations (1200x1200)")
+        print(f"  original : min={orig.min():.0f} max={orig.max():.0f}"
+              f" mean={orig.mean():.0f}")
+        print(f"  worst-150-column-window smoothing from S_f=4 "
+              f"reordering: {smoothing:.2f}x")
+
+
+def test_bench_figure2_fractal(benchmark, capsys):
+    wl = benchmark.pedantic(
+        lambda: MandelbrotWorkload(480, 320, max_iter=64).image(),
+        rounds=2,
+        iterations=1,
+    )
+    assert wl.shape == (320, 480)
+    with capsys.disabled():
+        print()
+        print("Figure 2 -- Mandelbrot fractal (ASCII, reduced):")
+        print(figures.figure2_ascii(width=72, height=24))

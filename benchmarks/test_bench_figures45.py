@@ -1,0 +1,48 @@
+"""Bench F4/F5: speedup of the simple schemes, dedicated/nondedicated.
+
+Timed kernel: the full p in {1, 2, 4, 8} sweep over TSS/FSS/FISS/TFSS/
+TreeS.  Shape checks: speedups grow with p, stay under the machine-mix
+power cap, and the nondedicated sweep degrades every scheme.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def _check(fig):
+    for scheme, points in fig.series.items():
+        speedups = [s for _p, _t, s in points]
+        assert speedups[-1] > speedups[0]
+        assert speedups[-1] <= fig.cap + 0.5
+
+
+def test_bench_figure4_simple_dedicated(benchmark, bench_workload,
+                                        capsys):
+    fig = benchmark.pedantic(
+        figures.figure4,
+        kwargs=dict(workload=bench_workload),
+        rounds=2,
+        iterations=1,
+    )
+    _check(fig)
+    with capsys.disabled():
+        print()
+        print(fig.report())
+
+
+def test_bench_figure5_simple_nondedicated(benchmark, bench_workload,
+                                           capsys):
+    fig = benchmark.pedantic(
+        figures.figure5,
+        kwargs=dict(workload=bench_workload),
+        rounds=2,
+        iterations=1,
+    )
+    ded = figures.figure4(workload=bench_workload)
+    for scheme in fig.series:
+        assert fig.series[scheme][-1][2] <= \
+            ded.series[scheme][-1][2] + 1e-9
+    with capsys.disabled():
+        print()
+        print(fig.report())

@@ -1,0 +1,56 @@
+"""Bench F6/F7: speedup of the distributed schemes.
+
+Shape checks from the paper: distributed schemes outscale the simple
+ones at p = 8, stay under the Figure 6 power cap (~4.67 for the
+3-fast + 5-slow mix), and DTSS scales best (or near-best) in the
+nondedicated sweep ("The DTSS scales the best").
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def test_bench_figure6_distributed_dedicated(benchmark, bench_workload,
+                                             capsys):
+    fig = benchmark.pedantic(
+        figures.figure6,
+        kwargs=dict(workload=bench_workload),
+        rounds=2,
+        iterations=1,
+    )
+    simple = figures.figure4(workload=bench_workload)
+    dist_best = max(
+        pts[-1][2] for name, pts in fig.series.items()
+        if name != "TreeS"
+    )
+    simple_best = max(
+        pts[-1][2] for name, pts in simple.series.items()
+        if name != "TreeS"
+    )
+    assert dist_best > simple_best
+    assert dist_best <= fig.cap + 0.5
+    with capsys.disabled():
+        print()
+        print(fig.report())
+
+
+def test_bench_figure7_distributed_nondedicated(benchmark,
+                                                bench_workload, capsys):
+    fig = benchmark.pedantic(
+        figures.figure7,
+        kwargs=dict(workload=bench_workload),
+        rounds=2,
+        iterations=1,
+    )
+    finals = {
+        name: pts[-1][2]
+        for name, pts in fig.series.items()
+        if name != "TreeS"
+    }
+    best = max(finals.values())
+    # DTSS within 10% of the best master-driven distributed scheme.
+    assert finals["DTSS"] >= 0.9 * best
+    with capsys.disabled():
+        print()
+        print(fig.report())

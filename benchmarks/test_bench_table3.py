@@ -1,0 +1,50 @@
+"""Bench T3: the paper's Table 3 (distributed schemes, p = 8).
+
+Timed kernel: all five Table 3 columns on the paper cluster.  Shape
+checks from the paper's prose:
+
+* distributed schemes beat their simple counterparts' ``T_p``;
+* computation times are well balanced across the heterogeneous PEs;
+* DTSS is the best (or ties the best) master-driven distributed scheme.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_time_table
+from repro.experiments import table2, table3
+
+
+def test_bench_table3_dedicated(benchmark, bench_workload, capsys):
+    results = benchmark.pedantic(
+        table3.run,
+        kwargs=dict(workload=bench_workload, dedicated=True),
+        rounds=3,
+        iterations=1,
+    )
+    simple = table2.run(workload=bench_workload, dedicated=True)
+    pairs = [("TSS", "DTSS"), ("FSS", "DFSS"), ("FISS", "DFISS"),
+             ("TFSS", "DTFSS")]
+    wins = sum(results[d].t_p < simple[s].t_p for s, d in pairs)
+    assert wins >= 3
+    assert results["DTSS"].comp_imbalance() \
+        < simple["TSS"].comp_imbalance()
+    with capsys.disabled():
+        print()
+        print("Table 3 (Dedicated, quarter scale)")
+        print(format_time_table(results))
+
+
+def test_bench_table3_nondedicated(benchmark, bench_workload, capsys):
+    results = benchmark.pedantic(
+        table3.run,
+        kwargs=dict(workload=bench_workload, dedicated=False),
+        rounds=3,
+        iterations=1,
+    )
+    master = {k: v.t_p for k, v in results.items() if k != "TreeS"}
+    best = min(master, key=master.get)
+    assert best in ("DTSS", "DTFSS")
+    with capsys.disabled():
+        print()
+        print("Table 3 (NonDedicated, quarter scale)")
+        print(format_time_table(results))

@@ -1,0 +1,102 @@
+"""The paper's experiment end-to-end: Mandelbrot on the Sun cluster.
+
+Run:  python examples/mandelbrot_cluster.py [--width 2000 --height 1000]
+
+Reproduces the full Sec. 5/6 pipeline at a configurable scale:
+
+  1. build the Mandelbrot column workload and reorder it with S_f = 4;
+  2. simulate every simple and distributed scheme (plus TreeS) on the
+     3-fast + 5-slow cluster, dedicated and nondedicated;
+  3. verify each scheduled run reproduces the serial result exactly;
+  4. render the fractal (Figure 2) as ASCII art.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import paper_cluster, paper_workload, simulate, simulate_tree
+from repro.experiments.config import overload_pattern
+from repro.workloads import render_ascii
+
+SIMPLE = ("TSS", "FSS", "FISS", "TFSS")
+DISTRIBUTED = ("DTSS", "DFSS", "DFISS", "DTFSS")
+
+
+def run_family(workload, cluster, schemes, weighted_tree: bool):
+    rows = []
+    serial = workload.execute_serial()
+    for name in schemes:
+        result = simulate(name, workload, cluster, collect_results=True)
+        got = np.asarray(result.results).reshape(serial.shape)
+        assert np.array_equal(got, serial), f"{name} corrupted results"
+        rows.append((name, result))
+    tree = simulate_tree(workload, cluster, weighted=weighted_tree,
+                         grain=8, collect_results=True)
+    got = np.asarray(tree.results).reshape(serial.shape)
+    assert np.array_equal(got, serial), "TreeS corrupted results"
+    rows.append(("TreeS", tree))
+    return rows
+
+
+def report(rows, title: str) -> None:
+    print(title)
+    for name, result in rows:
+        workers = result.workers
+        waits = sum(w.t_wait for w in workers) / len(workers)
+        comms = sum(w.t_com for w in workers) / len(workers)
+        print(
+            f"  {name:6s} T_p = {result.t_p:6.1f}s  "
+            f"avg T_com = {comms:5.1f}s  avg T_wait = {waits:5.1f}s  "
+            f"imbalance = {result.comp_imbalance():.2f}"
+        )
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--width", type=int, default=1000)
+    parser.add_argument("--height", type=int, default=500)
+    parser.add_argument("--sf", type=int, default=4)
+    args = parser.parse_args()
+
+    workload = paper_workload(width=args.width, height=args.height,
+                              sf=args.sf)
+    print(
+        f"Mandelbrot {args.width}x{args.height}, S_f={args.sf}: "
+        f"{workload.size} column tasks, "
+        f"{workload.total_cost():.3g} basic computations\n"
+    )
+
+    dedicated = paper_cluster(workload)
+    report(
+        run_family(workload, dedicated, SIMPLE, weighted_tree=False),
+        "Simple schemes, dedicated (every run verified against serial):",
+    )
+    report(
+        run_family(workload, dedicated, DISTRIBUTED, weighted_tree=True),
+        "Distributed schemes, dedicated:",
+    )
+
+    overloaded = paper_cluster(workload, overloaded=overload_pattern(8))
+    report(
+        run_family(workload, overloaded, SIMPLE, weighted_tree=False),
+        "Simple schemes, nondedicated (1 fast + 3 slow PEs overloaded):",
+    )
+    report(
+        run_family(workload, overloaded, DISTRIBUTED,
+                   weighted_tree=True),
+        "Distributed schemes, nondedicated:",
+    )
+
+    print("Figure 2 (the fractal itself):")
+    from repro.workloads import MandelbrotWorkload
+
+    thumb = MandelbrotWorkload(76, 28, max_iter=48)
+    print(render_ascii(thumb.image()))
+
+
+if __name__ == "__main__":
+    main()

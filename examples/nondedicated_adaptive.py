@@ -1,0 +1,114 @@
+"""Adaptive scheduling under changing load -- the DTSS design case.
+
+Run:  python examples/nondedicated_adaptive.py
+
+The paper motivates DTSS's re-derivation rule with the scenario where
+"a new user logs in to the system and starts a computational resources
+expensive task on some of the processors" mid-run.  This example builds
+exactly that scenario with a StepLoad trace, then a noisy RandomLoad
+one, and shows:
+
+  * the simple TSS ignores the event and stalls on the loaded PEs;
+  * DTSS re-derives its trapezoid over the remaining iterations (the
+    `rederivations` counter) and keeps the cluster balanced;
+  * the ACP availability threshold (`A_min`) can fence off PEs that are
+    too loaded to be worth using.
+"""
+
+from __future__ import annotations
+
+from repro import paper_workload, simulate
+from repro.core.acp import AcpModel
+from repro.simulation import ClusterSpec, NodeSpec, RandomLoad, StepLoad
+
+
+def build_cluster(workload, traces) -> ClusterSpec:
+    """Four equal PEs whose load follows the given traces."""
+    speed = workload.total_cost() / 60.0  # serial = 60 virtual seconds
+    nodes = [
+        NodeSpec(name=f"pe{i}", speed=speed, bandwidth=1.25e7,
+                 load=trace)
+        for i, trace in enumerate(traces)
+    ]
+    return ClusterSpec(nodes=nodes, master_service=1e-3,
+                       result_bytes_per_item=8000.0)
+
+
+def login_storm() -> None:
+    """A batch job lands on every machine of the cluster at t = 6s.
+
+    All eight ACPs change, which crosses DTSS's "more than half" rule:
+    the master re-derives its trapezoid over the *remaining* iterations
+    with the up-to-date power picture.  (A shock confined to PEs that
+    are mid-way through large chunks cannot trigger the rule until
+    those chunks complete -- the majority must *report* the change --
+    which is exactly the trade-off the paper's rule makes between
+    responsiveness and parameter-churn.)
+    """
+    workload = paper_workload(width=1000, height=500)
+    speed = workload.total_cost() / 60.0
+    nodes = [
+        NodeSpec(name=f"fast{i}", speed=speed, bandwidth=1.25e7,
+                 load=StepLoad([(6.0, 3)]))
+        for i in range(3)
+    ] + [
+        NodeSpec(name=f"slow{i}", speed=speed / 3, bandwidth=1.25e6,
+                 load=StepLoad([(6.0, 3)]))
+        for i in range(5)
+    ]
+    cluster = ClusterSpec(nodes=nodes, master_service=1e-3,
+                          result_bytes_per_item=8000.0)
+    print("Scenario 1: a batch job hits all 8 PEs (3 fast + 5 slow) "
+          "at t = 6s")
+    for name in ("TSS", "DTSS", "DFSS", "DFISS"):
+        result = simulate(name, workload, cluster)
+        extra = (
+            f"  re-derivations = {result.rederivations}"
+            if name != "TSS"
+            else ""
+        )
+        print(f"  {name:6s} T_p = {result.t_p:6.1f}s"
+              f"  imbalance = {result.comp_imbalance():.2f}{extra}")
+    print()
+
+
+def noisy_cluster() -> None:
+    """Every PE has random busy periods (seeded, reproducible)."""
+    workload = paper_workload(width=1000, height=500)
+    traces = [
+        RandomLoad(seed=i, arrival_rate=0.08, mean_duration=6.0)
+        for i in range(4)
+    ]
+    print("Scenario 2: random background busy periods on every PE")
+    for name in ("TSS", "FSS", "DTSS", "DFSS"):
+        result = simulate(name, workload,
+                          build_cluster(workload, traces))
+        print(f"  {name:6s} T_p = {result.t_p:6.1f}s"
+              f"  imbalance = {result.comp_imbalance():.2f}")
+    print()
+
+
+def availability_fence() -> None:
+    """A_min: refuse to schedule onto drowned PEs (paper Sec. 5.2-I)."""
+    workload = paper_workload(width=1000, height=500)
+    speed = workload.total_cost() / 60.0
+    nodes = [
+        NodeSpec(name="healthy0", speed=speed, bandwidth=1.25e7),
+        NodeSpec(name="healthy1", speed=speed, bandwidth=1.25e7),
+        NodeSpec(name="drowned", speed=speed, bandwidth=1.25e7,
+                 load=StepLoad([], initial=8)),  # Q = 8 forever
+    ]
+    cluster = ClusterSpec(nodes=nodes, result_bytes_per_item=8000.0)
+    print("Scenario 3: one PE is drowning under Q = 8")
+    for a_min in (1, 3):
+        model = AcpModel(scale=10, a_min=a_min)
+        result = simulate("DTSS", workload, cluster, acp_model=model)
+        used = [w.name for w in result.workers if w.iterations]
+        print(f"  A_min = {a_min}: T_p = {result.t_p:6.1f}s, "
+              f"PEs used = {used}")
+
+
+if __name__ == "__main__":
+    login_storm()
+    noisy_cluster()
+    availability_fence()

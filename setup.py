@@ -1,0 +1,8 @@
+"""Setuptools shim; configuration lives in pyproject.toml.
+
+Kept so that ``pip install -e .`` works on environments without the
+``wheel`` package (legacy editable install path).
+"""
+from setuptools import setup
+
+setup()

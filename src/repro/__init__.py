@@ -1,0 +1,67 @@
+"""repro -- loop self-scheduling for heterogeneous clusters.
+
+A from-scratch Python reproduction of Chronopoulos, Andonie, Benche &
+Grosu, *A Class of Loop Self-Scheduling for Heterogeneous Clusters*
+(IEEE CLUSTER 2001):
+
+* :mod:`repro.core` -- every self-scheduling scheme in the paper
+  (S, SS, CSS, GSS, TSS, FSS, FISS, the new TFSS, Weighted Factoring,
+  Tree Scheduling) and the distributed ACP-aware family (DTSS with the
+  paper's improvements, plus the new DFSS, DFISS, DTFSS);
+* :mod:`repro.workloads` -- the Mandelbrot column workload, the
+  Sec. 2.1 synthetic loop styles, and sampling-based loop reordering;
+* :mod:`repro.simulation` -- a deterministic discrete-event simulator
+  of a heterogeneous master--slave cluster (the stand-in for the
+  paper's Sun workstation testbed);
+* :mod:`repro.runtime` -- a real multiprocessing master--worker engine
+  (the stand-in for MPI);
+* :mod:`repro.analysis` -- chunk traces, balance metrics, speedup;
+* :mod:`repro.experiments` -- regenerates every table and figure.
+
+Quick start::
+
+    from repro import make, drain
+    sched = make("TFSS", total=1000, workers=4)
+    print([c.size for c in drain(sched)])
+
+    from repro import simulate, paper_workload, paper_cluster
+    wl = paper_workload(width=800, height=400)
+    res = simulate("DTSS", wl, paper_cluster(wl))
+    print(res.summary())
+"""
+
+from .core import (
+    ChunkAssignment,
+    Scheduler,
+    SchemeError,
+    WorkerView,
+    drain,
+    make,
+    names,
+)
+from .experiments.config import paper_cluster, paper_workload
+from .simulation import ClusterSpec, NodeSpec, SimResult, simulate, simulate_tree
+from .workloads import MandelbrotWorkload, ReorderedWorkload, Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Scheduler",
+    "SchemeError",
+    "ChunkAssignment",
+    "WorkerView",
+    "drain",
+    "make",
+    "names",
+    "Workload",
+    "MandelbrotWorkload",
+    "ReorderedWorkload",
+    "ClusterSpec",
+    "NodeSpec",
+    "SimResult",
+    "simulate",
+    "simulate_tree",
+    "paper_workload",
+    "paper_cluster",
+]

@@ -1,0 +1,144 @@
+"""Terminal plots: render the paper's figures as ASCII charts.
+
+The experiment runner is a CLI, so "figures" are drawn with characters:
+
+* :func:`line_chart` -- multi-series line chart (Figures 4-7, speedup
+  vs p);
+* :func:`profile_chart` -- a filled area profile (Figure 1, per-column
+  cost);
+* :func:`bar_chart` -- labelled horizontal bars (T_p comparisons).
+
+These are deliberately dependency-free (no matplotlib offline) and
+deterministic, so their output can be snapshotted in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["line_chart", "profile_chart", "bar_chart"]
+
+#: Series glyphs, assigned to series in order.
+_MARKERS = "o*x+#@%&"
+
+
+def _scale(
+    value: float, lo: float, hi: float, cells: int
+) -> int:
+    """Map ``value`` in [lo, hi] to a cell row/column index."""
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return int(round(frac * (cells - 1)))
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line chart over shared axes.
+
+    ``series`` maps a name to ``(x, y)`` points.  Points are plotted
+    with per-series markers and joined by linear interpolation in cell
+    space; a legend line maps markers to names.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    all_pts = [pt for pts in series.values() for pt in pts]
+    if not all_pts:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    xlo, xhi = min(xs), max(xs)
+    ylo, yhi = min(0.0, min(ys)), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(col: int, row: int, ch: str) -> None:
+        grid[height - 1 - row][col] = ch
+
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        cells = [
+            (_scale(x, xlo, xhi, width), _scale(y, ylo, yhi, height))
+            for x, y in sorted(pts)
+        ]
+        # Connect consecutive points with '.' interpolation.
+        for (c0, r0), (c1, r1) in zip(cells, cells[1:]):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for s in range(steps + 1):
+                c = round(c0 + (c1 - c0) * s / steps)
+                r = round(r0 + (r1 - r0) * s / steps)
+                if grid[height - 1 - r][c] == " ":
+                    plot(c, r, ".")
+        for c, r in cells:
+            plot(c, r, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{yhi:.2f} {y_label}".rstrip()
+    lines.append(top_label)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{xlo:g}" + " " * max(1, width - 12) + f"{xhi:g}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def profile_chart(
+    values: Sequence[float],
+    width: int = 72,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Filled area chart of a 1-D profile (Figure 1 style).
+
+    The profile is block-averaged down to ``width`` columns; each
+    column is a bar of '#' proportional to the block mean.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("values must be a non-empty 1-D sequence")
+    blocks = [b.mean() for b in np.array_split(arr, min(width, arr.size))]
+    hi = max(blocks) or 1.0
+    cols = [max(0, _scale(b, 0.0, hi, height + 1)) for b in blocks]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max block mean = {hi:.0f}")
+    for row in range(height, 0, -1):
+        lines.append(
+            "|" + "".join("#" if c >= row else " " for c in cols)
+        )
+    lines.append("+" + "-" * len(cols))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal labelled bars (T_p comparisons)."""
+    if not values:
+        raise ValueError("need at least one bar")
+    hi = max(values.values())
+    if hi <= 0:
+        raise ValueError("bar values must include a positive maximum")
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, v in values.items():
+        bar = "#" * max(1, _scale(v, 0.0, hi, width))
+        lines.append(f"{name.rjust(label_w)} |{bar} {v:.1f}{unit}")
+    return "\n".join(lines)

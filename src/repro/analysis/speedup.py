@@ -1,0 +1,66 @@
+"""Speedup series -- the quantity behind Figures 4-7.
+
+The paper plots speedup against PE count for each scheme.  Its
+denominator is the one-fast-PE configuration ("For p = 1: 1 fast PE"),
+so speedup can exceed the PE count only through measurement noise, and
+heterogeneous mixes cap below ``p``: Figure 6's caption works the cap
+out explicitly -- 3 fast + 5 slow with fast ~= 3x slow gives total power
+``3 + 5/3 ~= 4.67``, "thus, without Tcom/Twait we expect S_p <= 4.5".
+:func:`power_cap` computes that bound for any mix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+__all__ = ["SpeedupPoint", "speedup_series", "power_cap", "efficiency"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeedupPoint(object):
+    """One (p, T_p) measurement and its derived speedup."""
+
+    workers: int
+    t_p: float
+    speedup: float
+
+
+def speedup_series(
+    serial_time: float,
+    measurements: Sequence[tuple[int, float]],
+) -> list[SpeedupPoint]:
+    """Turn ``(p, T_p)`` pairs into speedup points vs ``serial_time``."""
+    if serial_time <= 0:
+        raise ValueError(f"serial_time must be > 0, got {serial_time}")
+    points = []
+    for workers, t_p in measurements:
+        if t_p <= 0:
+            raise ValueError(f"T_p must be > 0, got {t_p} at p={workers}")
+        points.append(
+            SpeedupPoint(
+                workers=workers, t_p=t_p, speedup=serial_time / t_p
+            )
+        )
+    return points
+
+
+def power_cap(virtual_powers: Sequence[float], fast: float | None = None
+              ) -> float:
+    """Upper bound on speedup vs one PE of power ``fast``.
+
+    ``fast`` defaults to the largest virtual power in the mix (the
+    paper's p=1 baseline is a fast PE).  Example: powers
+    ``[3, 3, 3, 1, 1, 1, 1, 1]`` -> ``14/3 ~= 4.67`` (Figure 6's
+    "we expect S_p <= 4.5" modulo their rounding of the speed ratio).
+    """
+    powers = [float(v) for v in virtual_powers]
+    if not powers or any(v <= 0 for v in powers):
+        raise ValueError(f"virtual powers must be positive: {powers}")
+    denom = float(fast) if fast is not None else max(powers)
+    return sum(powers) / denom
+
+
+def efficiency(points: Sequence[SpeedupPoint]) -> list[float]:
+    """Parallel efficiency ``speedup / p`` per point."""
+    return [pt.speedup / pt.workers for pt in points]

@@ -1,0 +1,211 @@
+"""Closed-form scheduling theory, cross-checked against the code.
+
+Each scheme's literature gives closed forms for the number of
+scheduling steps (= master messages, the overhead the schemes trade
+against balance).  This module implements those formulas so tests can
+verify the executable schedulers against theory, and so users can
+predict message counts without running anything:
+
+* CSS(k):  ``N = ceil(I / k)``.
+* GSS:     ``N ~= p * ln(I/p)`` (geometric decay; exact count computed
+  by recurrence here).
+* TSS:     ``N = floor(2I / (F + L))`` *planned*; the executable count
+  is smaller when the nominal row over-covers ``I``.
+* FSS:     ``p`` chunks per stage, stages halve the remainder:
+  ``N ~= p * log2(I/p)``; exact by recurrence.
+* FISS:    exactly ``sigma * p`` (fixed by construction).
+* TFSS:    ``p`` per stage over ``ceil(N_TSS / p)`` stages.
+
+These are *scheduling-step* counts for the synchronous lockstep drain;
+asynchronous engines add the terminal round of termination replies.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.base import SchemeError
+from ..core.factoring import ROUNDINGS
+from ..core.trapezoid import TrapezoidParams
+
+__all__ = [
+    "css_steps",
+    "gss_steps",
+    "tss_planned_steps",
+    "tss_executable_steps",
+    "fss_steps",
+    "fiss_steps",
+    "tfss_steps",
+    "predicted_steps",
+]
+
+
+def _check(total: int, workers: int) -> None:
+    if total < 0:
+        raise SchemeError(f"total must be >= 0, got {total}")
+    if workers < 1:
+        raise SchemeError(f"workers must be >= 1, got {workers}")
+
+
+def css_steps(total: int, k: int) -> int:
+    """``ceil(I/k)`` chunks for CSS(k)."""
+    if k < 1:
+        raise SchemeError(f"k must be >= 1, got {k}")
+    return -(-total // k)
+
+
+def gss_steps(total: int, workers: int) -> int:
+    """Exact GSS chunk count by the defining recurrence."""
+    _check(total, workers)
+    remaining = total
+    steps = 0
+    while remaining > 0:
+        remaining -= max(1, math.ceil(remaining / workers))
+        steps += 1
+    return steps
+
+
+def tss_planned_steps(
+    total: int, workers: int, first: int | None = None, last: int = 1
+) -> int:
+    """Tzen & Ni's planned ``N = floor(2I/(F+L))``."""
+    params = TrapezoidParams.derive(total, workers, first=first,
+                                    last=last)
+    return params.steps
+
+
+def tss_executable_steps(
+    total: int, workers: int, first: int | None = None, last: int = 1
+) -> int:
+    """Chunks the executable TSS emits (clipping included)."""
+    _check(total, workers)
+    params = TrapezoidParams.derive(total, workers, first=first,
+                                    last=last)
+    remaining = total
+    size = params.first
+    steps = 0
+    while remaining > 0:
+        take = min(max(size, 1), remaining)
+        remaining -= take
+        size = max(params.last, int(size - params.decrement))
+        steps += 1
+    return steps
+
+
+def fss_steps(
+    total: int, workers: int, alpha: float = 2.0,
+    rounding: str = "half-even",
+) -> int:
+    """Exact FSS chunk count: stages by recurrence, ``p`` chunks each.
+
+    The final stage may be cut short by clipping, so the count is
+    computed against the actual remaining-iterations ledger.
+    """
+    _check(total, workers)
+    if rounding not in ROUNDINGS:
+        raise SchemeError(f"unknown rounding {rounding!r}")
+    round_fn = ROUNDINGS[rounding]
+    remaining = total
+    steps = 0
+    while remaining > 0:
+        chunk = max(1, round_fn(remaining / (alpha * workers)))
+        for _ in range(workers):
+            take = min(chunk, remaining)
+            remaining -= take
+            steps += 1
+            if remaining <= 0:
+                break
+    return steps
+
+
+def fiss_steps(
+    total: int, workers: int, stages: int = 3, x: float | None = None
+) -> int:
+    """Exact FISS chunk count against the ledger.
+
+    Nominally exactly ``sigma * p`` chunks; fewer when clipping ends
+    the loop early (tiny ``I``), and slightly more when min-1 chunk
+    floors push coverage past the plan.
+    """
+    from ..core.fixed_increase import fiss_parameters
+
+    _check(total, workers)
+    if total == 0:
+        return 0
+    c0, bump, _x = fiss_parameters(total, workers, stages, x)
+    plan = [c0 + k * bump for k in range(stages - 1)]
+    leftover = max(0, total - sum(plan) * workers)
+    plan.append(max(1, math.ceil(leftover / workers)))
+    remaining = total
+    steps = 0
+    idx = 0
+    while remaining > 0:
+        if idx < len(plan):
+            chunk = plan[idx]
+            for _ in range(workers):
+                take = min(chunk, remaining)
+                remaining -= take
+                steps += 1
+                if remaining <= 0:
+                    break
+            idx += 1
+        else:
+            take = min(
+                max(1, math.ceil(remaining / (2 * workers))), remaining
+            )
+            remaining -= take
+            steps += 1
+    return steps
+
+
+def tfss_steps(total: int, workers: int) -> int:
+    """TFSS chunk count: ``p`` per stage against the actual ledger."""
+    from ..core.tfss import tfss_stage_chunks
+
+    _check(total, workers)
+    remaining = total
+    steps = 0
+    plan = tfss_stage_chunks(total, workers)
+    idx = 0
+    while remaining > 0:
+        if idx < len(plan):
+            chunk = plan[idx]
+            for _ in range(workers):
+                take = min(chunk, remaining)
+                remaining -= take
+                steps += 1
+                if remaining <= 0:
+                    break
+            idx += 1
+        else:
+            # Beyond-plan tail: the ladder recomputes the shrinking
+            # factoring chunk per *request*, not per stage.
+            take = min(
+                max(1, math.ceil(remaining / (2 * workers))), remaining
+            )
+            remaining -= take
+            steps += 1
+    return steps
+
+
+def predicted_steps(scheme: str, total: int, workers: int, **kwargs
+                    ) -> int:
+    """Dispatch: predicted synchronous-drain chunk count for a scheme."""
+    key = scheme.strip().upper()
+    if key == "CSS":
+        return css_steps(total, kwargs.get("k", 1))
+    if key == "SS":
+        return css_steps(total, 1)
+    if key == "GSS":
+        return gss_steps(total, workers)
+    if key == "TSS":
+        return tss_executable_steps(total, workers, **kwargs)
+    if key == "FSS":
+        return fss_steps(total, workers, **kwargs)
+    if key == "FISS":
+        return fiss_steps(total, workers, kwargs.get("stages", 3))
+    if key == "TFSS":
+        return tfss_steps(total, workers)
+    if key == "S":
+        return min(workers, max(total, 0)) if total else 0
+    raise SchemeError(f"no closed form registered for {scheme!r}")

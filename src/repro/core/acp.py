@@ -1,0 +1,89 @@
+"""Available Computing Power (ACP) model -- paper Sec. 3.1 and 5.2.
+
+The distributed schemes scale chunks by each PE's share of the cluster's
+total power.  The model (from Xu & Chronopoulos's DTSS):
+
+* ``V_i``  -- *virtual power* of PE ``i`` relative to the slowest PE
+  (``V_i = 1`` for the slowest).  The paper's Sec. 5.2-II improvement
+  allows decimal values (a real machine is never an exact integer
+  multiple of another).
+* ``Q_i``  -- number of processes in the PE's run queue, *including*
+  the loop process itself, so ``Q_i >= 1``.  This is the entire load
+  model: "a process running on a computer will take an equal share of
+  its computing resources".
+* ``A_i`` -- the available computing power.  Classic DTSS uses
+  ``A_i = floor(V_i / Q_i)``, which the paper shows can deadlock the
+  whole computation: with ``V = (1, 3)`` and ``Q = (2, 3)`` both ACPs
+  floor to zero and "the solving of the problem will have to wait".
+
+The paper's Sec. 5.2-I fix, implemented here as the default, is decimal
+division scaled by a constant integer before flooring:
+
+    ``A_i = floor(scale * V_i / Q_i)``,   scale in {10, 100, ...}.
+
+With ``scale = 10`` the example becomes ``A = (5, 7)`` and the loop can
+start.  The same fix enables an availability threshold ``A_min``: a PE
+whose ``A_i < A_min`` is excluded from the computation (e.g.
+``A_min = 6`` in the paper's example admits only the fast PE).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from .base import SchemeError
+
+__all__ = ["AcpModel", "CLASSIC_ACP", "IMPROVED_ACP"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AcpModel(object):
+    """Maps ``(V_i, Q_i)`` to an integer ACP ``A_i``.
+
+    Parameters
+    ----------
+    scale:
+        Integer multiplier applied before flooring.  ``1`` reproduces
+        classic DTSS (integer division, starvation-prone); ``10`` is the
+        paper's suggested improvement and the default.
+    a_min:
+        Minimum ACP for a PE to be considered *available*.  A PE with
+        ``A_i < a_min`` reports itself unavailable and receives no work
+        (paper: "a lower bound for the load of a processor that will
+        make it unavailable for another computation").
+    """
+
+    scale: int = 10
+    a_min: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise SchemeError(f"scale must be >= 1, got {self.scale}")
+        if self.a_min < 0:
+            raise SchemeError(f"a_min must be >= 0, got {self.a_min}")
+
+    def acp(self, virtual_power: float, run_queue: int) -> int:
+        """Compute ``A_i = floor(scale * V_i / Q_i)``."""
+        if virtual_power <= 0:
+            raise SchemeError(
+                f"virtual_power must be > 0, got {virtual_power}"
+            )
+        if run_queue < 1:
+            raise SchemeError(f"run_queue must be >= 1, got {run_queue}")
+        return math.floor(self.scale * virtual_power / run_queue)
+
+    def available(self, virtual_power: float, run_queue: int) -> bool:
+        """True when the PE meets the availability threshold.
+
+        A PE must always have positive ACP to receive work, so the
+        effective threshold is ``max(1, a_min)``.
+        """
+        return self.acp(virtual_power, run_queue) >= max(1, self.a_min)
+
+
+#: Classic DTSS integer-division model (paper Sec. 3.1): starves loaded PEs.
+CLASSIC_ACP = AcpModel(scale=1, a_min=1)
+
+#: The paper's Sec. 5.2 improvement: decimal division scaled by 10.
+IMPROVED_ACP = AcpModel(scale=10, a_min=1)

@@ -1,0 +1,256 @@
+"""Core abstractions shared by every self-scheduling scheme.
+
+A *scheme* is a chunk-size policy: given the loop size ``I`` and the set
+of workers, it decides how many consecutive iterations to hand to each
+worker request.  The paper's master--slave protocol (Sec. 2.2) is:
+
+    1. an idle slave sends a request to the master;
+    2. the master computes the next chunk size ``C_i`` from the remaining
+       iteration count ``R_{i-1}`` (Eq. 1: ``C_i = f(R_{i-1}, p)``) and
+       replies with an interval ``[start, stop)``;
+    3. the slave computes the interval and piggy-backs the results onto
+       its next request.
+
+Schemes here are *pure policies*, independent of any execution substrate:
+the discrete-event simulator (:mod:`repro.simulation`), the real
+multiprocessing runtime (:mod:`repro.runtime`), and the analytical
+chunk-trace tools (:mod:`repro.analysis.chunks`) all drive the same
+objects through the :class:`Scheduler` interface.
+
+Two families exist:
+
+* **simple** schemes (paper Sec. 2) ignore worker identity except for
+  stage bookkeeping -- every request at the same scheduling step gets the
+  same size regardless of which PE asked;
+* **distributed** schemes (paper Sec. 3 and 6) scale chunks by the
+  requesting worker's *available computing power* (ACP), carried in the
+  :class:`WorkerView` passed to :meth:`Scheduler.next_chunk`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+__all__ = [
+    "WorkerView",
+    "ChunkAssignment",
+    "Scheduler",
+    "SchemeError",
+    "drain",
+]
+
+
+class SchemeError(ValueError):
+    """Raised for invalid scheme parameters (e.g. non-positive loop size)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerView(object):
+    """What the master knows about the requesting worker at request time.
+
+    Attributes
+    ----------
+    worker_id:
+        Stable identifier of the requesting PE (0-based).
+    virtual_power:
+        The PE's *virtual power* ``V_i`` relative to the slowest PE
+        (paper Sec. 3.1); 1.0 for homogeneous treatment.  May be a
+        decimal value (paper Sec. 5.2-II).
+    run_queue:
+        Number of processes in the PE's run queue ``Q_i`` *including*
+        the loop process itself; hence ``run_queue >= 1``.
+    acp:
+        The available computing power ``A_i`` as computed by the ACP
+        model in force (an integer after scaling).  Simple schemes
+        ignore it.  ``None`` means "not reported" (simple protocol).
+    """
+
+    worker_id: int
+    virtual_power: float = 1.0
+    run_queue: int = 1
+    acp: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.worker_id < 0:
+            raise SchemeError(f"worker_id must be >= 0, got {self.worker_id}")
+        if self.virtual_power <= 0:
+            raise SchemeError(
+                f"virtual_power must be > 0, got {self.virtual_power}"
+            )
+        if self.run_queue < 1:
+            raise SchemeError(f"run_queue must be >= 1, got {self.run_queue}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkAssignment(object):
+    """A half-open interval of loop iterations handed to one worker.
+
+    The master replies to each request "with a pair of numbers
+    representing the interval of iterations the slave should work on"
+    (paper Sec. 5); this is that pair plus bookkeeping.
+    """
+
+    start: int
+    stop: int
+    worker_id: int
+    step: int  # scheduling step index (1-based, paper's ``i``)
+    stage: int = 0  # stage index for staged schemes (FSS/FISS/TFSS), else 0
+
+    @property
+    def size(self) -> int:
+        """Number of iterations in the chunk (paper's ``C_i``)."""
+        return self.stop - self.start
+
+    def indices(self) -> range:
+        """The iteration indices covered, as a :class:`range`."""
+        return range(self.start, self.stop)
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise SchemeError(
+                f"empty/negative chunk [{self.start}, {self.stop})"
+            )
+
+
+class Scheduler(ABC):
+    """Abstract chunk-size policy over a loop of ``total`` iterations.
+
+    Concrete schemes implement :meth:`_chunk_size`; this base class owns
+    the interval bookkeeping (cursor, remaining count, clipping, step
+    numbering) so that subclasses only compute sizes.
+
+    A scheduler instance is single-use: it walks the loop from iteration
+    0 to ``total`` exactly once.  Create a fresh instance per run (the
+    :func:`repro.core.registry.make` factory does this for you).
+    """
+
+    #: human-readable scheme name (e.g. ``"TSS"``); set by subclasses.
+    name: str = "?"
+    #: True for schemes that consume worker ACP (paper Sec. 6 pattern).
+    distributed: bool = False
+
+    def __init__(self, total: int, workers: int) -> None:
+        if total < 0:
+            raise SchemeError(f"total iterations must be >= 0, got {total}")
+        if workers < 1:
+            raise SchemeError(f"workers must be >= 1, got {workers}")
+        self.total = int(total)
+        self.workers = int(workers)
+        self._cursor = 0
+        self._step = 0
+
+    # -- public protocol ---------------------------------------------------
+
+    @property
+    def remaining(self) -> int:
+        """Iterations not yet assigned (paper's ``R_i``)."""
+        return self.total - self._cursor
+
+    @property
+    def steps_taken(self) -> int:
+        """Number of chunks assigned so far (paper's ``N`` at the end)."""
+        return self._step
+
+    @property
+    def finished(self) -> bool:
+        """True once every iteration has been assigned."""
+        return self._cursor >= self.total
+
+    def next_chunk(self, worker: WorkerView) -> Optional[ChunkAssignment]:
+        """Assign the next chunk to ``worker``.
+
+        Returns ``None`` when the loop is exhausted (the master then
+        replies with a termination message).  The returned interval is
+        clipped to the remaining iterations, so chunk sizes always
+        conserve the loop: the sizes over a full drain sum to ``total``.
+        """
+        if self.finished:
+            return None
+        size = int(self._chunk_size(worker))
+        if size < 1:
+            size = 1
+        size = min(size, self.remaining)
+        start = self._cursor
+        self._cursor += size
+        self._step += 1
+        return ChunkAssignment(
+            start=start,
+            stop=self._cursor,
+            worker_id=worker.worker_id,
+            step=self._step,
+            stage=self._current_stage(),
+        )
+
+    # -- subclass hooks ----------------------------------------------------
+
+    @abstractmethod
+    def _chunk_size(self, worker: WorkerView) -> int:
+        """Return the *nominal* next chunk size (>=1; clipping is ours)."""
+
+    def _current_stage(self) -> int:
+        """Stage index recorded on assignments; staged schemes override."""
+        return 0
+
+    # -- ACP plumbing (distributed schemes override) -------------------------
+
+    def observe_acp(self, worker_id: int, acp: int) -> None:
+        """Record a worker's freshly reported ACP.
+
+        Simple schemes ignore ACP reports; distributed schemes
+        (:mod:`repro.core.distributed`) use them for chunk scaling and
+        for the "more than half changed -> re-derive parameters" rule.
+        """
+
+    def describe(self) -> dict[str, object]:
+        """Introspection: the scheme's identity and public parameters.
+
+        Returns name, class, distributed flag, loop size, and every
+        public scalar attribute set by the constructor (``alpha``,
+        ``stages``, ``k``, ...).  Used by the CLI's ``schemes`` listing
+        and handy for experiment logging.
+        """
+        skip = {"name", "total", "workers", "distributed"}
+        params = {}
+        for key, value in vars(self).items():
+            if key.startswith("_") or key in skip:
+                continue
+            if isinstance(value, (int, float, str, bool)):
+                params[key] = value
+        return {
+            "name": self.name,
+            "class": type(self).__name__,
+            "distributed": self.distributed,
+            "total": self.total,
+            "workers": self.workers,
+            "params": params,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {self.name} total={self.total} "
+            f"workers={self.workers} remaining={self.remaining}>"
+        )
+
+
+def drain(scheduler: Scheduler, worker_cycle: Optional[list[WorkerView]] = None
+          ) -> Iterator[ChunkAssignment]:
+    """Exhaust ``scheduler`` by round-robin requests; yield assignments.
+
+    This is the analytical driver used for chunk traces (Table 1): it
+    mimics a perfectly synchronous master--slave round in which workers
+    request in a fixed cyclic order.  Execution substrates issue requests
+    in completion order instead.
+    """
+    if worker_cycle is None:
+        worker_cycle = [WorkerView(i) for i in range(scheduler.workers)]
+    if not worker_cycle:
+        raise SchemeError("worker_cycle must not be empty")
+    i = 0
+    while True:
+        chunk = scheduler.next_chunk(worker_cycle[i % len(worker_cycle)])
+        if chunk is None:
+            return
+        yield chunk
+        i += 1

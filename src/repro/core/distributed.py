@@ -1,0 +1,356 @@
+"""Distributed self-scheduling schemes -- paper Sec. 3.1 and Sec. 6.
+
+A scheme is *distributed*, in the paper's sense, when it uses **both**
+the initial virtual powers of the PEs **and** run-time load information
+(the run-queue length each slave piggy-backs onto every request).  The
+common pattern, lifted from DTSS (Xu & Chronopoulos 1999):
+
+Master
+    1a. Wait for all workers with ``A_i > 0`` to report their ACP;
+        compute ``A = sum(A_i)``.
+    1b. Derive the base scheme's parameters with ``p := A`` -- i.e. the
+        cluster is modelled as ``A`` *virtual unit processors*.
+    2a. On each request, record the freshly reported ``A_i``.
+    2b. Reply with a chunk scaled by the requester's power share.
+    2c. If more than half of the ``A_i`` changed since the parameters
+        were derived, re-derive them over the *remaining* iterations.
+
+Schemes implemented on this pattern:
+
+* :class:`DistributedTrapezoidScheduler` (**DTSS**, reviewed; with the
+  paper's Sec. 5.2 ACP improvements) -- the trapezoid is laid over the
+  ``A`` virtual unit processors and a request from a PE with power
+  ``A_i`` receives the next ``A_i`` unit chunks in one message:
+  ``C = A_i * (F - D * (S + (A_i - 1)/2))`` with ``S`` the ACP already
+  serviced since derivation.
+* :class:`DistributedFactoringScheduler` (**DFSS**, new) -- factoring
+  stage totals ``SC_k = floor(R / alpha)`` split as ``C_j = SC_k A_j/A``.
+* :class:`DistributedFixedIncreaseScheduler` (**DFISS**, new) --
+  ``SC_0 = floor(I / X)``, bump ``B = ceil(2I(1-sigma/X)/(sigma(sigma-1)))``,
+  final stage takes the exact remainder.
+* :class:`DistributedTrapezoidFactoringScheduler` (**DTFSS**, new) --
+  stage totals are sums of the next ``A`` nominal unit-trapezoid chunks
+  (the DTSS trapezoid grouped stage-wise), split by power share.
+
+Stage accounting under asynchrony: a stage is *consumed* when the ACP
+serviced within it reaches ``A`` (the distributed generalization of
+"every PE got one chunk").  Fast PEs that re-request early therefore
+draw the next stage open exactly as in the simple staged schemes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .acp import IMPROVED_ACP, AcpModel
+from .base import Scheduler, SchemeError, WorkerView
+from .trapezoid import TrapezoidParams
+
+__all__ = [
+    "DistributedSchedulerBase",
+    "DistributedTrapezoidScheduler",
+    "DistributedFactoringScheduler",
+    "DistributedFixedIncreaseScheduler",
+    "DistributedTrapezoidFactoringScheduler",
+]
+
+
+class DistributedSchedulerBase(Scheduler):
+    """Shared ACP bookkeeping + the "half changed -> re-derive" rule."""
+
+    distributed = True
+
+    def __init__(
+        self,
+        total: int,
+        workers: int,
+        acp_model: AcpModel = IMPROVED_ACP,
+    ) -> None:
+        super().__init__(total, workers)
+        self.acp_model = acp_model
+        self._acps: dict[int, int] = {}
+        self._derive_acps: Optional[dict[int, int]] = None
+        self.rederivations = 0  # observability: parameter refresh count
+
+    # -- ACP reports -------------------------------------------------------
+
+    def observe_acp(self, worker_id: int, acp: int) -> None:
+        """Record a worker's reported ACP (piggy-backed on its request)."""
+        if acp < 0:
+            raise SchemeError(f"ACP must be >= 0, got {acp}")
+        self._acps[int(worker_id)] = int(acp)
+
+    def _effective_acp(self, worker: WorkerView) -> int:
+        """The ACP to use for this request, recording it as observed."""
+        if worker.acp is not None:
+            acp = int(worker.acp)
+        elif worker.worker_id in self._acps:
+            acp = self._acps[worker.worker_id]
+        else:
+            acp = self.acp_model.acp(worker.virtual_power, worker.run_queue)
+        self._acps[worker.worker_id] = acp
+        return max(1, acp)
+
+    @property
+    def total_acp(self) -> int:
+        """``A``: summed ACP of the registered workers (>= 1)."""
+        return max(1, sum(max(0, a) for a in self._acps.values()))
+
+    # -- derivation --------------------------------------------------------
+
+    def _ensure_registered(self) -> None:
+        """Fill in defaults for workers that never reported (V=Q=1).
+
+        Execution engines always register real ACPs before scheduling;
+        this fallback keeps the schemes usable analytically (e.g. via
+        :func:`repro.core.base.drain`) without an engine.
+        """
+        for wid in range(self.workers):
+            self._acps.setdefault(wid, self.acp_model.acp(1.0, 1))
+
+    def _maybe_rederive(self) -> None:
+        if self._derive_acps is None:
+            self._ensure_registered()
+            self._derive_acps = dict(self._acps)
+            self._derive(self.remaining)
+            return
+        baseline = self._derive_acps
+        changed = sum(
+            1
+            for wid, acp in self._acps.items()
+            if baseline.get(wid) != acp
+        )
+        changed += sum(1 for wid in baseline if wid not in self._acps)
+        if changed > len(baseline) / 2:
+            self.rederivations += 1
+            self._derive_acps = dict(self._acps)
+            self._derive(self.remaining)
+
+    def _derive(self, iterations: int) -> None:
+        """Recompute scheme parameters over ``iterations`` with p := A."""
+        raise NotImplementedError
+
+    def next_chunk(self, worker: WorkerView):  # type: ignore[override]
+        # ACP observation must precede sizing so this request's own
+        # report participates in the "half changed" check (paper 2a/2c).
+        if worker.acp is not None:
+            self.observe_acp(worker.worker_id, worker.acp)
+        if not self.finished:
+            self._maybe_rederive()
+        return super().next_chunk(worker)
+
+
+class DistributedTrapezoidScheduler(DistributedSchedulerBase):
+    """DTSS with the paper's improved ACP model (Sec. 3.1 + 5.2)."""
+
+    name = "DTSS"
+
+    def __init__(
+        self,
+        total: int,
+        workers: int,
+        acp_model: AcpModel = IMPROVED_ACP,
+        last: int = 1,
+    ) -> None:
+        super().__init__(total, workers, acp_model)
+        self.last = int(last)
+        self.params: Optional[TrapezoidParams] = None
+        self._served_acp = 0  # S: ACP units serviced since derivation
+
+    def _derive(self, iterations: int) -> None:
+        self.params = TrapezoidParams.derive(
+            iterations, self.total_acp, last=self.last,
+            integer_decrement=False,
+        )
+        self._served_acp = 0
+
+    def _chunk_size(self, worker: WorkerView) -> int:
+        assert self.params is not None
+        a = self._effective_acp(worker)
+        f, d = self.params.first, self.params.decrement
+        chunk = a * (f - d * (self._served_acp + (a - 1) / 2.0))
+        self._served_acp += a
+        return max(1, math.floor(chunk))
+
+
+class _StagedDistributed(DistributedSchedulerBase):
+    """Stage machinery shared by DFSS / DFISS / DTFSS.
+
+    Subclasses implement :meth:`_plan_stages`, the lockstep sequence of
+    stage *totals* ``SC_1, SC_2, ...`` over a given iteration count.
+    Each worker walks its own stage ladder: its ``k``-th request (since
+    the last parameter derivation) receives ``round(SC_k * A_j / A)``
+    (min 1; the base class clips to the loop's remaining iterations).
+    Per-worker ladders are the asynchronous reading of "at stage k
+    every PE gets its power share of SC_k": global-stage bookkeeping
+    either lets fast PEs consume slow PEs' shares (request counting) or
+    skips stages wholesale (advance-on-repeat), both of which pile
+    compensating work onto stragglers.
+
+    A re-derivation (the "more than half the ACPs changed" rule)
+    replans the stages over the remaining iterations and resets every
+    ladder -- the distributed schemes' load-adaptation step.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        workers: int,
+        acp_model: AcpModel = IMPROVED_ACP,
+    ) -> None:
+        super().__init__(total, workers)
+        self.acp_model = acp_model
+        self._stage_totals: list[int] = [max(1, total)]
+        self._worker_stage: dict[int, int] = {}
+        self._last_stage = 0
+
+    def _derive(self, iterations: int) -> None:
+        self._worker_stage.clear()
+        totals = [int(sc) for sc in self._plan_stages(iterations) if sc > 0]
+        self._stage_totals = totals or [max(1, iterations)]
+
+    def _plan_stages(self, iterations: int) -> list[int]:
+        """Lockstep stage totals ``SC_k`` covering ``iterations``."""
+        raise NotImplementedError
+
+    def _chunk_size(self, worker: WorkerView) -> int:
+        a = self._effective_acp(worker)
+        total_acp = self.total_acp
+        k = self._worker_stage.get(worker.worker_id, 0)
+        self._worker_stage[worker.worker_id] = k + 1
+        self._last_stage = k + 1
+        if k < len(self._stage_totals):
+            share = self._stage_totals[k] * a / total_acp
+        else:
+            # Beyond the plan (rounding/clipping leftovers): shrinking
+            # factoring-style tail.  Replaying the final rung would
+            # hand out the plan's *largest* chunks late for increasing
+            # schemes (DFISS) -- the straggler pattern stages exist to
+            # avoid.
+            share = self.remaining * a / (2.0 * total_acp)
+        return max(1, round(share))
+
+    def _current_stage(self) -> int:
+        return self._last_stage
+
+
+class DistributedFactoringScheduler(_StagedDistributed):
+    """DFSS: factoring stage totals split by ACP share (paper Sec. 6).
+
+    ``SC_k = floor(R_k / alpha)`` with ``R_k`` the lockstep remainder.
+    """
+
+    name = "DFSS"
+
+    def __init__(
+        self,
+        total: int,
+        workers: int,
+        acp_model: AcpModel = IMPROVED_ACP,
+        alpha: float = 2.0,
+    ) -> None:
+        if alpha <= 1.0:
+            raise SchemeError(f"alpha must be > 1, got {alpha}")
+        self.alpha = float(alpha)
+        super().__init__(total, workers, acp_model)
+
+    def _plan_stages(self, iterations: int) -> list[int]:
+        totals: list[int] = []
+        remaining = iterations
+        while remaining > 0:
+            sc = max(1, int(remaining / self.alpha))
+            sc = min(sc, remaining)
+            totals.append(sc)
+            remaining -= sc
+        return totals
+
+
+class DistributedFixedIncreaseScheduler(_StagedDistributed):
+    """DFISS: fixed-increase stage totals split by ACP share.
+
+    ``SC_0 = floor(I / X)``; bump ``B = ceil(2I(1 - sigma/X) /
+    (sigma (sigma - 1)))`` (paper Sec. 6, DFISS 1.(b) -- note the
+    per-PE divisor of FISS is gone, replaced by the ACP share); the
+    final planned stage takes the exact remainder.
+    """
+
+    name = "DFISS"
+
+    def __init__(
+        self,
+        total: int,
+        workers: int,
+        acp_model: AcpModel = IMPROVED_ACP,
+        stages: int = 3,
+        x: float | None = None,
+    ) -> None:
+        self.stages = int(stages)
+        if self.stages < 2:
+            raise SchemeError(f"DFISS needs >= 2 stages, got {stages}")
+        self.x = float(x) if x is not None else float(self.stages + 2)
+        if self.x <= self.stages:
+            raise SchemeError(
+                f"X must exceed sigma for a positive bump: X={self.x}, "
+                f"sigma={self.stages}"
+            )
+        super().__init__(total, workers, acp_model)
+
+    def _plan_stages(self, iterations: int) -> list[int]:
+        sigma, x = self.stages, self.x
+        sc0 = max(1, int(iterations / x))
+        bump = max(
+            0,
+            math.ceil(2 * iterations * (1 - sigma / x)
+                      / (sigma * (sigma - 1))),
+        )
+        totals = [sc0 + k * bump for k in range(sigma - 1)]
+        leftover = iterations - sum(totals)
+        totals.append(max(1, leftover))
+        return totals
+
+
+class DistributedTrapezoidFactoringScheduler(_StagedDistributed):
+    """DTFSS: DTSS's unit trapezoid, consumed one stage of ``A`` at a time.
+
+    Stage ``k``'s total is the sum of the next ``A`` nominal chunks of
+    the unit trapezoid ``TSS(I, A)`` -- by the arithmetic-series identity
+    this equals ``A * (F - D * (kA + (A - 1)/2))``, i.e. exactly what
+    DTSS would hand a single PE of power ``A``.  The stage is then split
+    among requesters by ACP share, which is the TFSS construction
+    transplanted onto the virtual-unit-processor cluster.
+    """
+
+    name = "DTFSS"
+
+    def __init__(
+        self,
+        total: int,
+        workers: int,
+        acp_model: AcpModel = IMPROVED_ACP,
+        last: int = 1,
+    ) -> None:
+        self.last = int(last)
+        self.params: Optional[TrapezoidParams] = None
+        super().__init__(total, workers, acp_model)
+
+    def _plan_stages(self, iterations: int) -> list[int]:
+        a = self.total_acp
+        self.params = TrapezoidParams.derive(
+            iterations, a, last=self.last, integer_decrement=False
+        )
+        f, d = self.params.first, self.params.decrement
+        totals: list[int] = []
+        assigned = 0
+        k = 0
+        while assigned < iterations:
+            sc = math.floor(a * (f - d * (k * a + (a - 1) / 2.0)))
+            if sc < 1:
+                break
+            sc = min(sc, iterations - assigned)
+            totals.append(sc)
+            assigned += sc
+            k += 1
+        if assigned < iterations:
+            totals.append(iterations - assigned)
+        return totals

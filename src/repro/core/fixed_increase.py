@@ -1,0 +1,93 @@
+"""Fixed Increase Self-Scheduling (Philip & Das 1997; paper Sec. 2.2).
+
+**FISS** runs a *fixed* number of stages ``sigma`` and, unlike every
+other scheme here, *increases* the chunk size from stage to stage:
+
+    ``C_0 = floor(I / (X * p))``         (first-stage chunk),
+    ``B   = floor(2 I (1 - sigma/X) / (p sigma (sigma - 1)))``  ("bump"),
+    ``C_k = C_{k-1} + B``.
+
+``X`` is a compiler/user parameter; Philip & Das suggest
+``X = sigma + 2``, which this implementation defaults to.  The rationale
+is the mirror image of the decreasing schemes: small chunks early get
+every PE started quickly, and the big final chunks cut the message count
+at the end where decreasing schemes flood the master with tiny requests.
+
+For ``I = 1000, p = 4, sigma = 3`` (so ``X = 5``): ``C_0 = 50`` and
+``B = floor(800/24) = 33``, giving nominal stage chunks ``50, 83, 116``.
+The paper's Table 1 row is ``50 83 117``: the last stage must absorb the
+integer-division shortfall (``4 * 249 = 996``), so the final stage's
+chunk is the exact per-PE share of what remains --
+``(1000 - 4*133)/4 = 117``.  That remainder rule is implemented here and
+noted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import SchemeError
+from .factoring import StageLadderScheduler
+
+__all__ = ["FixedIncreaseScheduler", "fiss_parameters"]
+
+
+def fiss_parameters(
+    total: int, workers: int, stages: int, x: float | None = None
+) -> tuple[int, int, float]:
+    """Return ``(C_0, B, X)`` for FISS over ``total`` iterations.
+
+    Exposed separately because DFISS (paper Sec. 6) re-derives the same
+    quantities with the per-PE divisor removed (stage *totals* instead
+    of per-PE chunks).
+    """
+    if stages < 2:
+        raise SchemeError(f"FISS needs >= 2 stages, got {stages}")
+    if x is None:
+        x = stages + 2
+    if x <= stages:
+        raise SchemeError(
+            f"X must exceed sigma for a positive bump: X={x}, sigma={stages}"
+        )
+    c0 = total // (int(x) * workers) if x == int(x) else int(
+        total / (x * workers)
+    )
+    bump = math.floor(
+        2 * total * (1 - stages / x) / (workers * stages * (stages - 1))
+    )
+    return max(1, c0), max(0, bump), float(x)
+
+
+class FixedIncreaseScheduler(StageLadderScheduler):
+    """FISS(sigma, X): increasing equal-chunk stages, exact final stage.
+
+    Uses the per-worker stage ladder (see
+    :class:`~repro.core.factoring.StageLadderScheduler`): each PE's
+    ``k``-th chunk is the stage-``k`` size, independent of how far the
+    other PEs have progressed.
+    """
+
+    name = "FISS"
+
+    def __init__(
+        self,
+        total: int,
+        workers: int,
+        stages: int = 3,
+        x: float | None = None,
+    ) -> None:
+        self.stages = int(stages)
+        c0, bump, xval = fiss_parameters(total, workers, self.stages, x)
+        self.c0 = c0
+        self.bump = bump
+        self.x = xval
+        super().__init__(total, workers)
+
+    def _plan(self) -> list[int]:
+        plan = [self.c0 + k * self.bump for k in range(self.stages - 1)]
+        assigned = sum(plan) * self.workers
+        # Final planned stage: split the remainder exactly so the loop
+        # conserves (paper row: 50 83 117, not 50 83 116).
+        leftover = max(0, self.total - assigned)
+        plan.append(max(1, math.ceil(leftover / self.workers)))
+        return plan

@@ -1,0 +1,116 @@
+"""Scheme registry: build any scheduler from its paper name.
+
+Central factory used by the experiment runner, benchmarks, and examples
+so that scheme selection is a string (``"TSS"``, ``"DFISS"``, ...) plus
+keyword overrides.  Names match the paper's; lookups are
+case-insensitive and ``CSS(k)`` / ``GSS(k)`` accept their parameter
+inline (e.g. ``"CSS(32)"``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .base import Scheduler, SchemeError
+from .chunk import ChunkScheduler, PureScheduler
+from .distributed import (
+    DistributedFactoringScheduler,
+    DistributedFixedIncreaseScheduler,
+    DistributedTrapezoidFactoringScheduler,
+    DistributedTrapezoidScheduler,
+)
+from .factoring import FactoringScheduler, WeightedFactoringScheduler
+from .fixed_increase import FixedIncreaseScheduler
+from .guided import GuidedScheduler
+from .static_ import BlockCyclicScheduler, StaticScheduler
+from .tfss import TrapezoidFactoringScheduler
+from .trapezoid import TrapezoidScheduler
+
+__all__ = [
+    "SCHEMES",
+    "SIMPLE_SCHEMES",
+    "DISTRIBUTED_SCHEMES",
+    "make",
+    "names",
+]
+
+#: scheme name -> scheduler class.  TreeS is intentionally absent: it is
+#: decentralized and driven by :mod:`repro.simulation.tree_engine`, not
+#: the master-request protocol.
+SCHEMES: dict[str, type[Scheduler]] = {
+    "S": StaticScheduler,
+    "BC": BlockCyclicScheduler,
+    "SS": PureScheduler,
+    "CSS": ChunkScheduler,
+    "GSS": GuidedScheduler,
+    "TSS": TrapezoidScheduler,
+    "FSS": FactoringScheduler,
+    "FISS": FixedIncreaseScheduler,
+    "TFSS": TrapezoidFactoringScheduler,
+    "WF": WeightedFactoringScheduler,
+    "DTSS": DistributedTrapezoidScheduler,
+    "DFSS": DistributedFactoringScheduler,
+    "DFISS": DistributedFixedIncreaseScheduler,
+    "DTFSS": DistributedTrapezoidFactoringScheduler,
+}
+
+#: The paper's *simple* adaptive schemes (Table 2 columns, minus TreeS).
+SIMPLE_SCHEMES: tuple[str, ...] = ("TSS", "FSS", "FISS", "TFSS")
+
+#: The paper's *distributed* schemes (Table 3 columns, minus TreeS).
+DISTRIBUTED_SCHEMES: tuple[str, ...] = ("DTSS", "DFSS", "DFISS", "DTFSS")
+
+_PARAM_RE = re.compile(r"^([A-Za-z]+)\((\d+)\)$")
+
+#: inline-parameter keyword per scheme family, e.g. CSS(32) -> k=32.
+_INLINE_KEYWORD: dict[str, str] = {
+    "CSS": "k",
+    "GSS": "min_chunk",
+    "BC": "block",
+    "FISS": "stages",
+    "DFISS": "stages",
+}
+
+
+def names() -> list[str]:
+    """All registered scheme names, registry order."""
+    return list(SCHEMES)
+
+
+def make(name: str, total: int, workers: int, **kwargs) -> Scheduler:
+    """Instantiate scheme ``name`` over ``total`` iterations.
+
+    ``kwargs`` are forwarded to the scheme constructor (e.g.
+    ``alpha=2.0`` for FSS, ``acp_model=...`` for distributed schemes).
+    """
+    key = name.strip()
+    match = _PARAM_RE.match(key)
+    if match:
+        base, arg = match.group(1).upper(), int(match.group(2))
+        if base not in _INLINE_KEYWORD:
+            raise SchemeError(f"scheme {base!r} takes no inline parameter")
+        kwargs.setdefault(_INLINE_KEYWORD[base], arg)
+        key = base
+    else:
+        key = key.upper()
+    if key not in SCHEMES:
+        raise SchemeError(
+            f"unknown scheme {name!r}; known: {', '.join(SCHEMES)}"
+        )
+    return SCHEMES[key](total, workers, **kwargs)
+
+
+def register(name: str, factory: type[Scheduler]) -> None:
+    """Register a user scheme class under ``name`` (upper-cased)."""
+    key = name.strip().upper()
+    if not key:
+        raise SchemeError("scheme name must be non-empty")
+    SCHEMES[key] = factory
+
+
+def make_many(
+    names_: Iterable[str], total: int, workers: int, **kwargs
+) -> dict[str, Scheduler]:
+    """Build several fresh schedulers keyed by their given names."""
+    return {n: make(n, total, workers, **kwargs) for n in names_}

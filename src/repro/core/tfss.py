@@ -1,0 +1,82 @@
+"""Trapezoid Factoring Self-Scheduling -- the paper's new scheme (Sec. 4).
+
+**TFSS** combines the two most successful simple schemes:
+
+* from **FSS** it takes *stages* -- the loop is scheduled in groups of
+  ``p`` equal-sized chunks, so the chunk size adapts only once per
+  stage (few adaptations was FSS's observed strength);
+* from **TSS** it takes the *linearly decreasing* size profile -- large
+  chunks at the start (little synchronization overhead), small chunks
+  at the end (good load balance).
+
+The stage chunk is "the sum of the next ``p`` chunks that would have
+been computed by the TSS algorithm ... equally divided among the ``p``
+processors":
+
+    ``C^TFSS_k = (C^TSS_{kp+1} + ... + C^TSS_{kp+p}) / p``.
+
+(The paper's displayed formula indexes FSS chunks; Example 2 makes clear
+the TSS sequence is intended, and its bounds are inclusive-exclusive
+``k .. k+p``.)  For ``I = 1000, p = 4`` the nominal TSS sequence
+``125 117 109 101 | 93 85 77 69 | 61 53 45 37 | 29 21 13 5`` yields the
+Table 1 row ``113 81 49 17`` (per PE, 4 PEs per stage).  Like TSS's
+nominal row this over-covers ``I``; the executable scheduler clips the
+final chunks to the remaining count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .factoring import StageLadderScheduler
+from .trapezoid import nominal_tss_chunks
+
+__all__ = ["TrapezoidFactoringScheduler", "tfss_stage_chunks"]
+
+
+def tfss_stage_chunks(
+    total: int,
+    workers: int,
+    first: Optional[int] = None,
+    last: int = 1,
+) -> list[int]:
+    """Nominal per-PE stage chunks: group-of-``p`` means of the TSS row.
+
+    A trailing partial group (fewer than ``p`` nominal TSS chunks left)
+    still forms a stage, sized by its mean over ``p`` (floored, min 1),
+    mirroring Example 2 where all groups happen to divide exactly.
+    """
+    tss = nominal_tss_chunks(total, workers, first=first, last=last)
+    out: list[int] = []
+    for g in range(0, len(tss), workers):
+        group = tss[g:g + workers]
+        out.append(max(1, sum(group) // workers))
+    return out
+
+
+class TrapezoidFactoringScheduler(StageLadderScheduler):
+    """TFSS: FSS-style stages with TSS's linearly decreasing sizes.
+
+    Uses the per-worker stage ladder (see
+    :class:`~repro.core.factoring.StageLadderScheduler`): each PE's
+    ``k``-th chunk is the ``k``-th nominal stage size.  Requests beyond
+    the plan receive the last (smallest) stage size, clipped by the
+    base class to what remains.
+    """
+
+    name = "TFSS"
+
+    def __init__(
+        self,
+        total: int,
+        workers: int,
+        first: Optional[int] = None,
+        last: int = 1,
+    ) -> None:
+        self._stage_chunks = tfss_stage_chunks(
+            total, workers, first=first, last=last
+        )
+        super().__init__(total, workers)
+
+    def _plan(self) -> list[int]:
+        return self._stage_chunks

@@ -1,0 +1,43 @@
+"""Paper experiments: one module per table/figure plus the CLI runner.
+
+See DESIGN.md's experiment index for the table/figure -> module map and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from . import (
+    ablations,
+    figures,
+    parity,
+    replicate,
+    table1,
+    table2,
+    table3,
+    validation,
+    windows,
+)
+from .config import (
+    FAST_SLOW_RATIO,
+    OVERLOAD_Q,
+    overload_pattern,
+    paper_cluster,
+    paper_workload,
+    speedup_configuration,
+)
+
+__all__ = [
+    "ablations",
+    "replicate",
+    "validation",
+    "windows",
+    "parity",
+    "figures",
+    "table1",
+    "table2",
+    "table3",
+    "FAST_SLOW_RATIO",
+    "OVERLOAD_Q",
+    "paper_workload",
+    "paper_cluster",
+    "speedup_configuration",
+    "overload_pattern",
+]

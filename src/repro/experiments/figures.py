@@ -1,0 +1,172 @@
+"""Experiments F1 and F4-F7: the paper's figures as data series.
+
+* Figure 1 -- the Mandelbrot per-column cost profile, original and
+  reordered with ``S_f = 4`` (1200x1200 window in the paper).
+* Figure 2 -- the fractal itself (ASCII render; see
+  ``examples/mandelbrot_cluster.py`` for the full image path).
+* Figures 4/5 -- speedup of the *simple* schemes vs p (dedicated /
+  nondedicated).
+* Figures 6/7 -- speedup of the *distributed* schemes vs p.
+
+The speedup denominator is the dedicated serial time on one fast PE
+(the paper's p=1 configuration).  Expected shapes: a dip at p=2 from
+communication cost; simple schemes plateau (equal chunks to unequal
+PEs) while distributed schemes track the cluster's power cap
+(Fig. 6 caption: ``S_p <= 4.5`` for 3 fast + 5 slow at ratio 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..analysis import power_cap
+from ..simulation import simulate, simulate_tree
+from ..workloads import MandelbrotWorkload, ReorderedWorkload, Workload
+from .config import (
+    FAST_SLOW_RATIO,
+    paper_workload,
+    speedup_configuration,
+)
+
+__all__ = [
+    "figure1",
+    "figure2_ascii",
+    "SpeedupFigure",
+    "speedup_figure",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+]
+
+P_VALUES = (1, 2, 4, 8)
+SIMPLE = ("TSS", "FSS", "FISS", "TFSS", "TreeS")
+DISTRIBUTED = ("DTSS", "DFSS", "DFISS", "DTFSS", "TreeS")
+
+
+def figure1(
+    width: int = 1200, height: int = 1200, max_iter: int = 64, sf: int = 4
+) -> dict[str, np.ndarray]:
+    """Per-column basic-computation profiles, original vs reordered."""
+    inner = MandelbrotWorkload(width, height, max_iter=max_iter)
+    reordered = ReorderedWorkload(inner, sf=sf)
+    return {
+        "original": np.asarray(inner.costs()),
+        "reordered": np.asarray(reordered.costs()),
+    }
+
+
+def figure2_ascii(width: int = 78, height: int = 32, max_iter: int = 48
+                  ) -> str:
+    """A small ASCII Mandelbrot (Figure 2 stand-in for terminals)."""
+    from ..workloads import render_ascii
+
+    wl = MandelbrotWorkload(width, height, max_iter=max_iter)
+    return render_ascii(wl.image())
+
+
+@dataclasses.dataclass
+class SpeedupFigure(object):
+    """One speedup figure: series[scheme] = [(p, T_p, speedup), ...]."""
+
+    title: str
+    dedicated: bool
+    serial_time: float
+    series: dict[str, list[tuple[int, float, float]]]
+    cap: float  # power cap at p=8
+
+    def report(self) -> str:
+        lines = [f"{self.title} (serial on 1 fast PE: "
+                 f"{self.serial_time:.1f}s; p=8 power cap "
+                 f"{self.cap:.2f})"]
+        header = "scheme".ljust(8) + "".join(
+            f"  p={p:<2d} S_p".rjust(12) for p in P_VALUES
+        )
+        lines.append(header)
+        for scheme, points in self.series.items():
+            cells = "".join(
+                f"{sp:12.2f}" for _p, _t, sp in points
+            )
+            lines.append(scheme.ljust(8) + cells)
+        return "\n".join(lines)
+
+
+def speedup_figure(
+    schemes: tuple[str, ...],
+    dedicated: bool,
+    title: str,
+    workload: Optional[Workload] = None,
+    width: int = 4000,
+    height: int = 2000,
+    serial_seconds: float = 60.0,
+    weighted_tree: bool = False,
+) -> SpeedupFigure:
+    """Measure one speedup figure over p in {1, 2, 4, 8}."""
+    wl = workload or paper_workload(width=width, height=height)
+    # Denominator: dedicated serial run on one fast PE.  By the cluster
+    # calibration this equals serial_seconds exactly, but derive it from
+    # the cluster to stay correct for custom clusters.
+    base = speedup_configuration(wl, 1, dedicated=True,
+                                 serial_seconds=serial_seconds)
+    serial_time = wl.total_cost() / base.nodes[0].speed
+    series: dict[str, list[tuple[int, float, float]]] = {
+        s: [] for s in schemes
+    }
+    cap = power_cap([FAST_SLOW_RATIO] * 3 + [1.0] * 5)
+    for p in P_VALUES:
+        cluster = speedup_configuration(
+            wl, p, dedicated=dedicated, serial_seconds=serial_seconds
+        )
+        for scheme in schemes:
+            if scheme == "TreeS":
+                res = simulate_tree(
+                    wl, cluster, weighted=weighted_tree, grain=8
+                )
+            else:
+                res = simulate(scheme, wl, cluster)
+            series[scheme].append((p, res.t_p, serial_time / res.t_p))
+    return SpeedupFigure(
+        title=title,
+        dedicated=dedicated,
+        serial_time=serial_time,
+        series=series,
+        cap=cap,
+    )
+
+
+def figure4(**kwargs) -> SpeedupFigure:
+    """Figure 4: simple schemes, dedicated."""
+    return speedup_figure(
+        SIMPLE, True, "Figure 4 -- Speedup of Simple Schemes (Dedicated)",
+        **kwargs,
+    )
+
+
+def figure5(**kwargs) -> SpeedupFigure:
+    """Figure 5: simple schemes, nondedicated."""
+    return speedup_figure(
+        SIMPLE, False,
+        "Figure 5 -- Speedup of Simple Schemes (NonDedicated)", **kwargs,
+    )
+
+
+def figure6(**kwargs) -> SpeedupFigure:
+    """Figure 6: distributed schemes, dedicated."""
+    kwargs.setdefault("weighted_tree", True)
+    return speedup_figure(
+        DISTRIBUTED, True,
+        "Figure 6 -- Speedup of Distributed Schemes (Dedicated)", **kwargs,
+    )
+
+
+def figure7(**kwargs) -> SpeedupFigure:
+    """Figure 7: distributed schemes, nondedicated."""
+    kwargs.setdefault("weighted_tree", True)
+    return speedup_figure(
+        DISTRIBUTED, False,
+        "Figure 7 -- Speedup of Distributed Schemes (NonDedicated)",
+        **kwargs,
+    )

@@ -1,0 +1,180 @@
+"""Replicated experiments: mean +/- spread instead of single runs.
+
+The paper's tables are single runs, and several of its rankings (which
+scheme is "second best") sit inside single-run noise -- EXPERIMENTS.md
+documents cases where our single run disagrees for exactly that reason.
+This module runs a scheme comparison across many *randomized load
+realizations* (seeded :class:`~repro.simulation.RandomLoad` traces) and
+reports distributional statistics, which is what a ranking claim
+actually needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+from ..analysis import format_matrix
+from ..simulation import ClusterSpec, NodeSpec, RandomLoad, simulate
+from ..workloads import Workload
+from .config import (
+    FAST_BANDWIDTH,
+    FAST_SLOW_RATIO,
+    MASTER_SERVICE,
+    PAPER_RESULT_BYTES,
+    SLOW_BANDWIDTH,
+    paper_workload,
+)
+
+__all__ = ["SchemeStats", "replicated_comparison", "sign_test", "report"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemeStats(object):
+    """T_p distribution for one scheme across load realizations."""
+
+    scheme: str
+    t_ps: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.t_ps) / len(self.t_ps)
+
+    @property
+    def std(self) -> float:
+        if len(self.t_ps) < 2:
+            return 0.0
+        mu = self.mean
+        var = sum((t - mu) ** 2 for t in self.t_ps) / (len(self.t_ps) - 1)
+        return math.sqrt(var)
+
+    @property
+    def best(self) -> float:
+        return min(self.t_ps)
+
+    @property
+    def worst(self) -> float:
+        return max(self.t_ps)
+
+
+def _noisy_paper_cluster(
+    workload: Workload, seed: int, serial_seconds: float
+) -> ClusterSpec:
+    """The 3-fast + 5-slow cluster with seeded random busy periods."""
+    total_cost = workload.total_cost()
+    fast_speed = total_cost / serial_seconds if total_cost else 1.0
+    slow_speed = fast_speed / FAST_SLOW_RATIO
+    nodes = []
+    for i in range(3):
+        nodes.append(
+            NodeSpec(
+                name=f"fast{i + 1}",
+                speed=fast_speed,
+                bandwidth=FAST_BANDWIDTH,
+                virtual_power=FAST_SLOW_RATIO,
+                load=RandomLoad(seed=seed * 31 + i,
+                                arrival_rate=0.04,
+                                mean_duration=8.0),
+            )
+        )
+    for j in range(5):
+        nodes.append(
+            NodeSpec(
+                name=f"slow{j + 1}",
+                speed=slow_speed,
+                bandwidth=SLOW_BANDWIDTH,
+                virtual_power=1.0,
+                load=RandomLoad(seed=seed * 31 + 3 + j,
+                                arrival_rate=0.04,
+                                mean_duration=8.0),
+            )
+        )
+    return ClusterSpec(
+        nodes=nodes,
+        master_service=MASTER_SERVICE,
+        result_bytes_per_item=(
+            PAPER_RESULT_BYTES / workload.size if workload.size else 0.0
+        ),
+    )
+
+
+def sign_test(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sided sign-test p-value for paired samples ``a`` vs ``b``.
+
+    The replications are paired (same load realizations), so the sign
+    test is the assumption-free way to ask "is scheme A really faster
+    than scheme B, or was it load luck?".  Ties are dropped, per the
+    standard procedure.
+    """
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    wins = sum(1 for x, y in zip(a, b) if x < y)
+    losses = sum(1 for x, y in zip(a, b) if x > y)
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    k = min(wins, losses)
+    # two-sided binomial tail at p = 1/2
+    tail = sum(math.comb(n, i) for i in range(k + 1)) / 2.0 ** n
+    return min(1.0, 2.0 * tail)
+
+
+def replicated_comparison(
+    schemes: Sequence[str] = ("TSS", "DTSS", "DFSS", "DFISS", "DTFSS"),
+    replications: int = 10,
+    workload: Optional[Workload] = None,
+    serial_seconds: float = 60.0,
+) -> list[SchemeStats]:
+    """Run every scheme over ``replications`` seeded load realizations.
+
+    Every scheme sees the *same* sequence of load realizations (paired
+    comparison), so scheme differences are not confounded with load
+    luck.
+    """
+    if replications < 1:
+        raise ValueError("replications must be >= 1")
+    wl = workload or paper_workload(width=1000, height=500)
+    stats = []
+    for scheme in schemes:
+        t_ps = []
+        for seed in range(replications):
+            cluster = _noisy_paper_cluster(wl, seed, serial_seconds)
+            t_ps.append(simulate(scheme, wl, cluster).t_p)
+        stats.append(SchemeStats(scheme=scheme, t_ps=tuple(t_ps)))
+    return stats
+
+
+def report(
+    schemes: Sequence[str] = ("TSS", "DTSS", "DFSS", "DFISS", "DTFSS"),
+    replications: int = 10,
+    workload: Optional[Workload] = None,
+) -> str:
+    """Replicated comparison as a text table, best mean first."""
+    stats = replicated_comparison(
+        schemes=schemes, replications=replications, workload=workload
+    )
+    stats = sorted(stats, key=lambda s: s.mean)
+    rows = [
+        [f"{s.mean:.1f}", f"{s.std:.1f}", f"{s.best:.1f}",
+         f"{s.worst:.1f}"]
+        for s in stats
+    ]
+    table = format_matrix(
+        ["mean T_p", "std", "best", "worst"],
+        rows,
+        [s.scheme for s in stats],
+    )
+    lines = [
+        f"T_p over {replications} seeded random-load realizations "
+        f"(paired across schemes):",
+        table,
+    ]
+    if len(stats) >= 2 and replications >= 5:
+        best, runner_up = stats[0], stats[1]
+        p_value = sign_test(best.t_ps, runner_up.t_ps)
+        lines.append(
+            f"sign test, {best.scheme} vs {runner_up.scheme}: "
+            f"p = {p_value:.3f}"
+        )
+    return "\n".join(lines)

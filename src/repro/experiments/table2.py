@@ -1,0 +1,71 @@
+"""Experiment T2: the paper's Table 2 -- simple schemes at p = 8.
+
+Runs TSS, FSS, FISS, TFSS and TreeS on the 3-fast + 5-slow cluster,
+dedicated and nondedicated, and tabulates per-PE
+``T_com/T_wait/T_comp`` plus ``T_p`` in the paper's layout.
+
+Expected shape (paper Sec. 5.1): the simple schemes treat all PEs as
+equal, so on the heterogeneous cluster "the execution is not
+well-balanced" -- fast PEs idle (big ``T_wait``) while slow PEs carry
+equal-sized chunks; TSS posts the best ``T_p``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis import format_time_table
+from ..simulation import SimResult, simulate, simulate_tree
+from ..workloads import Workload
+from .config import overload_pattern, paper_cluster, paper_workload
+
+__all__ = ["SCHEMES", "run", "report"]
+
+SCHEMES = ("TSS", "FSS", "FISS", "TFSS", "TreeS")
+
+
+def run(
+    workload: Optional[Workload] = None,
+    dedicated: bool = True,
+    width: int = 4000,
+    height: int = 2000,
+    serial_seconds: float = 60.0,
+) -> dict[str, SimResult]:
+    """Simulate every Table 2 column; returns scheme -> result."""
+    wl = workload or paper_workload(width=width, height=height)
+    overloaded = () if dedicated else overload_pattern(8)
+    cluster = paper_cluster(
+        wl, overloaded=overloaded, serial_seconds=serial_seconds
+    )
+    results: dict[str, SimResult] = {}
+    for scheme in SCHEMES:
+        if scheme == "TreeS":
+            # Simple test: even initial allocation (paper Sec. 5.1).
+            results[scheme] = simulate_tree(
+                wl, cluster, weighted=False, grain=8
+            )
+        else:
+            results[scheme] = simulate(scheme, wl, cluster)
+    return results
+
+
+def report(**kwargs) -> str:
+    """Both halves of Table 2 as text."""
+    parts = []
+    # Build the (cost-cached) workload once for both halves.
+    if kwargs.get("workload") is None:
+        kwargs = dict(kwargs)
+        kwargs["workload"] = paper_workload(
+            width=kwargs.pop("width", 4000),
+            height=kwargs.pop("height", 2000),
+        )
+    for dedicated in (True, False):
+        results = run(dedicated=dedicated, **kwargs)
+        title = "Dedicated" if dedicated else "NonDedicated"
+        parts.append(
+            f"Table 2 -- Simple schemes, p = 8 ({title}); "
+            "cells are T_com/T_wait/T_comp (s)"
+        )
+        parts.append(format_time_table(results))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,73 @@
+"""Experiment T3: the paper's Table 3 -- distributed schemes at p = 8.
+
+Runs DTSS, DFSS, DFISS, DTFSS and weighted TreeS on the same cluster as
+Table 2.  Expected shape (paper Sec. 6.1): "the execution is
+well-balanced, in terms of the computation times" and the
+communication/waiting times drop sharply versus the simple schemes;
+DTSS posts the best ``T_p``, DFISS second in the nondedicated case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis import format_time_table
+from ..core.acp import IMPROVED_ACP, AcpModel
+from ..simulation import SimResult, simulate, simulate_tree
+from ..workloads import Workload
+from .config import overload_pattern, paper_cluster, paper_workload
+
+__all__ = ["SCHEMES", "run", "report"]
+
+SCHEMES = ("DTSS", "DFSS", "DFISS", "DTFSS", "TreeS")
+
+
+def run(
+    workload: Optional[Workload] = None,
+    dedicated: bool = True,
+    width: int = 4000,
+    height: int = 2000,
+    serial_seconds: float = 60.0,
+    acp_model: AcpModel = IMPROVED_ACP,
+) -> dict[str, SimResult]:
+    """Simulate every Table 3 column; returns scheme -> result."""
+    wl = workload or paper_workload(width=width, height=height)
+    overloaded = () if dedicated else overload_pattern(8)
+    cluster = paper_cluster(
+        wl, overloaded=overloaded, serial_seconds=serial_seconds
+    )
+    results: dict[str, SimResult] = {}
+    for scheme in SCHEMES:
+        if scheme == "TreeS":
+            # Distributed test: virtual-power-weighted initial blocks
+            # (paper Sec. 6.1).
+            results[scheme] = simulate_tree(
+                wl, cluster, weighted=True, grain=8
+            )
+        else:
+            results[scheme] = simulate(
+                scheme, wl, cluster, acp_model=acp_model
+            )
+    return results
+
+
+def report(**kwargs) -> str:
+    """Both halves of Table 3 as text."""
+    parts = []
+    # Build the (cost-cached) workload once for both halves.
+    if kwargs.get("workload") is None:
+        kwargs = dict(kwargs)
+        kwargs["workload"] = paper_workload(
+            width=kwargs.pop("width", 4000),
+            height=kwargs.pop("height", 2000),
+        )
+    for dedicated in (True, False):
+        results = run(dedicated=dedicated, **kwargs)
+        title = "Dedicated" if dedicated else "NonDedicated"
+        parts.append(
+            f"Table 3 -- Distributed schemes, p = 8 ({title}); "
+            "cells are T_com/T_wait/T_comp (s)"
+        )
+        parts.append(format_time_table(results))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,94 @@
+"""Window-size sweep -- the paper's "for different window sizes".
+
+Sec. 2.1: "We use, in our tests, the Mandelbrot fractal computation
+algorithm on the domain [-2.0, 1.25] x [-1.25, 1.25], for different
+window sizes (for example 4000x2000, 5000x2000, and so on)."  This
+experiment sweeps the window width (one task per column) and reports,
+per scheme, how ``T_p`` and the scheduling-step count scale.
+
+Because the cluster is *calibrated per workload* (serial time on one
+fast PE pinned), ``T_p`` should be roughly flat across window sizes for
+a well-behaved scheme -- deviations expose granularity effects: at
+small ``I`` the chunk counts collapse and single-chunk placement luck
+dominates (which is also why the test suite runs rank-sensitive checks
+at width >= 1000).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..analysis import format_matrix
+from ..simulation import simulate
+from .config import paper_cluster, paper_workload
+
+__all__ = ["WindowPoint", "window_sweep", "report"]
+
+DEFAULT_WIDTHS = (500, 1000, 2000, 4000)
+DEFAULT_SCHEMES = ("TSS", "TFSS", "DTSS", "DTFSS")
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowPoint(object):
+    """One (scheme, width) measurement."""
+
+    scheme: str
+    width: int
+    t_p: float
+    chunks: int
+    imbalance: float
+
+
+def window_sweep(
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    height: int = 1000,
+    serial_seconds: float = 60.0,
+) -> list[WindowPoint]:
+    """Simulate every (scheme, width) pair on the calibrated cluster."""
+    points = []
+    for width in widths:
+        wl = paper_workload(width=width, height=height)
+        for scheme in schemes:
+            cluster = paper_cluster(wl, serial_seconds=serial_seconds)
+            result = simulate(scheme, wl, cluster)
+            points.append(
+                WindowPoint(
+                    scheme=scheme,
+                    width=width,
+                    t_p=result.t_p,
+                    chunks=result.total_chunks,
+                    imbalance=result.comp_imbalance(),
+                )
+            )
+    return points
+
+
+def report(
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    height: int = 1000,
+) -> str:
+    """T_p per (scheme, width) in a text matrix."""
+    points = window_sweep(widths=widths, schemes=schemes, height=height)
+    by_scheme: dict[str, dict[int, WindowPoint]] = {}
+    for pt in points:
+        by_scheme.setdefault(pt.scheme, {})[pt.width] = pt
+    rows = []
+    for scheme in schemes:
+        rows.append(
+            [
+                f"{by_scheme[scheme][w].t_p:.1f}"
+                f" ({by_scheme[scheme][w].chunks})"
+                for w in widths
+            ]
+        )
+    table = format_matrix(
+        [f"I={w}" for w in widths], rows, list(schemes)
+    )
+    return (
+        "T_p in seconds (chunk count) per Mandelbrot window width;\n"
+        "cluster calibrated per workload, so flat rows = granularity-"
+        "robust scheme:\n" + table
+    )

@@ -1,0 +1,31 @@
+"""Real master--worker execution on OS processes (the mpi4py-style
+substrate; see DESIGN.md for the MPI substitution argument)."""
+
+from .estimator import estimate_virtual_powers, probe_seconds_per_iteration
+from .executor import BackgroundLoad, RunResult, run_parallel, run_serial
+from .master import MasterResult, master_loop
+from .mpi import have_mpi, run_mpi
+from .messages import Assign, Request, Terminate, WorkerStats
+from .serial import best_of, time_serial
+from .worker import WorkerSpec, worker_main
+
+__all__ = [
+    "Assign",
+    "Request",
+    "Terminate",
+    "WorkerStats",
+    "WorkerSpec",
+    "worker_main",
+    "MasterResult",
+    "master_loop",
+    "RunResult",
+    "run_parallel",
+    "run_serial",
+    "BackgroundLoad",
+    "estimate_virtual_powers",
+    "probe_seconds_per_iteration",
+    "have_mpi",
+    "run_mpi",
+    "best_of",
+    "time_serial",
+]

@@ -1,0 +1,174 @@
+"""High-level runner: execute a workload on real worker processes.
+
+:func:`run_parallel` is the runtime counterpart of
+:func:`repro.simulation.simulate`: it spawns one OS process per worker,
+drives the master loop in the calling process, reassembles piggy-backed
+results into serial order, and reports wall-clock times.
+
+Nondedicated mode: :class:`BackgroundLoad` starts the paper's stressor
+(processes adding two random 1000x1000 matrices) on request and stops it
+afterwards; use it as a context manager around a run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core import Scheduler, make
+from ..core.acp import IMPROVED_ACP, AcpModel
+from ..workloads import Workload, matrix_add_load
+from .master import MasterResult, master_loop
+from .messages import WorkerStats
+from .worker import WorkerSpec, worker_main
+
+__all__ = ["RunResult", "run_parallel", "run_serial", "BackgroundLoad"]
+
+
+@dataclasses.dataclass
+class RunResult(object):
+    """Outcome of one real parallel run."""
+
+    scheme: str
+    elapsed: float
+    results: Optional[np.ndarray]
+    stats: dict[int, WorkerStats]
+    chunks: list[tuple[int, int, int]]
+    requeued: int = 0
+
+    @property
+    def total_chunks(self) -> int:
+        return len(self.chunks)
+
+
+def run_serial(workload: Workload) -> tuple[np.ndarray, float]:
+    """Execute the loop serially; returns (results, elapsed seconds)."""
+    t0 = time.perf_counter()
+    out = workload.execute_serial()
+    return out, time.perf_counter() - t0
+
+
+def run_parallel(
+    scheme: str | Scheduler,
+    workload: Workload,
+    n_workers: int,
+    specs: Optional[Sequence[WorkerSpec]] = None,
+    acp_model: AcpModel = IMPROVED_ACP,
+    collect_results: bool = True,
+    mp_context: str = "fork",
+    **scheme_kwargs,
+) -> RunResult:
+    """Run ``workload`` under ``scheme`` on ``n_workers`` processes.
+
+    ``specs`` carries per-worker heterogeneity (slowdown, virtual power,
+    static run-queue); omitted entries default to a plain worker.
+    Results are reassembled in iteration order, so
+    ``np.array_equal(run.results, workload.execute_serial())`` holds for
+    any scheme -- the runtime's core correctness property.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    specs = list(specs or [])
+    while len(specs) < n_workers:
+        specs.append(WorkerSpec())
+    scheduler = (
+        make(scheme, workload.size, n_workers, **scheme_kwargs)
+        if isinstance(scheme, str)
+        else scheme
+    )
+    ctx = mp.get_context(mp_context)
+    pipes = {}
+    processes = []
+    for wid in range(n_workers):
+        parent, child = ctx.Pipe()
+        pipes[wid] = parent
+        proc = ctx.Process(
+            target=worker_main,
+            args=(child, workload, wid),
+            kwargs={
+                "spec": specs[wid],
+                "distributed": scheduler.distributed,
+                "acp_model": acp_model,
+            },
+            daemon=True,
+        )
+        processes.append(proc)
+    t0 = time.perf_counter()
+    for proc in processes:
+        proc.start()
+    meta = {
+        wid: (specs[wid].virtual_power, specs[wid].run_queue)
+        for wid in range(n_workers)
+    }
+    master: MasterResult = master_loop(scheduler, pipes, meta)
+    elapsed = time.perf_counter() - t0
+    for proc in processes:
+        proc.join(timeout=30.0)
+        if proc.is_alive():  # pragma: no cover - hang guard
+            proc.terminate()
+    combined: Optional[np.ndarray] = None
+    if collect_results:
+        master.results.sort(key=lambda pair: pair[0])
+        combined = (
+            np.concatenate([np.atleast_1d(np.asarray(r))
+                            for _, r in master.results])
+            if master.results
+            else np.zeros(0)
+        )
+    return RunResult(
+        scheme=scheduler.name,
+        elapsed=elapsed,
+        results=combined,
+        stats=master.stats,
+        chunks=master.chunks,
+        requeued=master.requeued,
+    )
+
+
+class BackgroundLoad(object):
+    """The paper's nondedicated stressor as a context manager.
+
+    Starts ``processes`` matrix-add loops (1000x1000 by default, the
+    paper's size) and stops them on exit.  On a single host these
+    contend for CPU with every worker; the paper pinned them to chosen
+    slaves, which process-level CPU affinity could emulate but the
+    experiments here treat as uniform background pressure.
+    """
+
+    def __init__(
+        self,
+        processes: int = 2,
+        size: int = 1000,
+        mp_context: str = "fork",
+    ) -> None:
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.processes = processes
+        self.size = size
+        self._ctx = mp.get_context(mp_context)
+        self._stop = self._ctx.Event()
+        self._procs: list[mp.process.BaseProcess] = []
+
+    def __enter__(self) -> "BackgroundLoad":
+        for i in range(self.processes):
+            proc = self._ctx.Process(
+                target=matrix_add_load,
+                args=(self._stop,),
+                kwargs={"size": self.size, "seed": i},
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - hang guard
+                proc.terminate()
+        self._procs.clear()

@@ -1,0 +1,128 @@
+"""Master loop for the multiprocessing runtime.
+
+The master multiplexes worker pipes with
+:func:`multiprocessing.connection.wait` (the select-style idiom), feeds
+each request through the scheduler, and collects piggy-backed results.
+
+Fault tolerance beyond the paper: if a worker dies mid-chunk (its pipe
+reports EOF), the master *requeues* the outstanding interval and hands
+it to the next requester before consulting the scheduler, so a run
+completes despite worker loss -- exercised by the failure-injection
+tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from multiprocessing.connection import wait
+from typing import Any, Optional
+
+from ..core import Scheduler, WorkerView
+from .messages import Assign, Request, Terminate, WorkerStats
+
+__all__ = ["MasterResult", "master_loop"]
+
+
+@dataclasses.dataclass
+class MasterResult(object):
+    """Everything the master gathered from one run."""
+
+    results: list[tuple[int, Any]]
+    stats: dict[int, WorkerStats]
+    chunks: list[tuple[int, int, int]]  # (worker_id, start, stop)
+    requeued: int = 0  # chunks reassigned after a worker death
+
+    def assigned_iterations(self) -> int:
+        return sum(stop - start for _, start, stop in self.chunks)
+
+
+def master_loop(
+    scheduler: Scheduler,
+    connections: dict[int, Any],
+    worker_meta: Optional[dict[int, tuple[float, int]]] = None,
+) -> MasterResult:
+    """Serve requests until the loop completes and workers terminate.
+
+    ``connections`` maps worker id -> master-side pipe end.
+    ``worker_meta`` maps worker id -> ``(virtual_power, run_queue)`` for
+    the :class:`WorkerView` (defaults to ``(1.0, 1)``).
+    """
+    worker_meta = worker_meta or {}
+    live = dict(connections)
+    outstanding: dict[int, tuple[int, int]] = {}
+    requeue: list[tuple[int, int]] = []
+    results: list[tuple[int, Any]] = []
+    stats: dict[int, WorkerStats] = {}
+    chunks: list[tuple[int, int, int]] = []
+    requeued = 0
+
+    def handle_request(wid: int, req: Request) -> None:
+        nonlocal requeued
+        if req.result is not None:
+            results.append(req.result)
+        if req.stats is not None:
+            stats[wid] = req.stats
+        outstanding.pop(wid, None)
+        vp, rq = worker_meta.get(wid, (1.0, 1))
+        view = WorkerView(
+            worker_id=wid, virtual_power=vp, run_queue=rq, acp=req.acp
+        )
+        if requeue:
+            start, stop = requeue.pop()
+            requeued += 1
+            assignment = (start, stop)
+        else:
+            chunk = scheduler.next_chunk(view)
+            assignment = (chunk.start, chunk.stop) if chunk else None
+        conn = live.get(wid)
+        if conn is None:
+            if assignment is not None:
+                requeue.append(assignment)
+            return
+        try:
+            if assignment is None:
+                conn.send(Terminate())
+                live.pop(wid, None)
+            else:
+                outstanding[wid] = assignment
+                chunks.append((wid, assignment[0], assignment[1]))
+                conn.send(Assign(*assignment))
+        except (BrokenPipeError, OSError):
+            drop_worker(wid)
+
+    def drop_worker(wid: int) -> None:
+        nonlocal requeued
+        live.pop(wid, None)
+        lost = outstanding.pop(wid, None)
+        if lost is not None:
+            # Remove the lost chunk from the log; it will re-enter when
+            # reassigned, keeping `chunks` an exact execution record.
+            for i in range(len(chunks) - 1, -1, -1):
+                if chunks[i] == (wid, lost[0], lost[1]):
+                    del chunks[i]
+                    break
+            requeue.append(lost)
+
+    while live:
+        ready = wait(list(live.values()), timeout=5.0)
+        if not ready:
+            # No traffic: if every live worker is idle-waiting this
+            # would be a protocol bug; keep polling (workers may just be
+            # computing long chunks).
+            continue
+        conn_to_wid = {id(c): w for w, c in live.items()}
+        for conn in ready:
+            wid = conn_to_wid.get(id(conn))
+            if wid is None:
+                continue
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                drop_worker(wid)
+                continue
+            if isinstance(msg, Request):
+                handle_request(wid, msg)
+
+    return MasterResult(
+        results=results, stats=stats, chunks=chunks, requeued=requeued
+    )

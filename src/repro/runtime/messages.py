@@ -1,0 +1,68 @@
+"""Wire messages for the multiprocessing master--worker runtime.
+
+The real-process runtime mirrors the paper's MPI protocol: a worker's
+:class:`Request` piggy-backs the result of its previous chunk ("the
+slaves will attach to each request, except for the first one, the
+result of the computation due to the previous request"); the master
+answers with an :class:`Assign` interval or :class:`Terminate`.
+
+Messages are plain picklable dataclasses sent over
+:class:`multiprocessing.Pipe` connections.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+__all__ = ["Request", "Assign", "Terminate", "WorkerStats"]
+
+
+@dataclasses.dataclass
+class WorkerStats(object):
+    """Per-worker wall-clock accounting shipped with every request.
+
+    ``wait_seconds`` measures request-to-assignment latency (pipe +
+    master queueing + service) -- the runtime analogue of the
+    simulator's ``t_wait``; ``compute_seconds`` is chunk execution
+    (including slowdown-emulation burns), the analogue of ``t_comp``.
+    Serialization costs ride inside ``wait_seconds`` (a real pipe has
+    no separable "link occupancy" to meter).
+    """
+
+    compute_seconds: float = 0.0
+    wait_seconds: float = 0.0
+    chunks: int = 0
+    iterations: int = 0
+
+
+@dataclasses.dataclass
+class Request(object):
+    """Worker -> master: "I am idle; here is my previous result".
+
+    ``acp`` is attached only in distributed mode (the worker's current
+    available computing power); ``result`` is ``(start, payload)`` for
+    the previously assigned chunk, or ``None`` on the first request.
+    """
+
+    worker_id: int
+    acp: Optional[int] = None
+    result: Optional[tuple[int, Any]] = None
+    stats: Optional[WorkerStats] = None
+
+
+@dataclasses.dataclass
+class Assign(object):
+    """Master -> worker: compute iterations ``[start, stop)``."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise ValueError(f"empty assignment [{self.start}, {self.stop})")
+
+
+@dataclasses.dataclass
+class Terminate(object):
+    """Master -> worker: no more work; send final stats and exit."""

@@ -1,0 +1,39 @@
+"""Serial baseline helpers (speedup denominators).
+
+Kept as a module of its own so benchmarks and examples have one obvious
+place to get a timed serial execution and a repeat-based stable timing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..workloads import Workload
+
+__all__ = ["time_serial", "best_of"]
+
+
+def time_serial(workload: Workload, repeats: int = 1) -> float:
+    """Median wall-clock seconds for a full serial execution."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        workload.execute_serial()
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Minimum wall-clock seconds over ``repeats`` calls of ``fn``."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best

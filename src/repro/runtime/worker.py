@@ -1,0 +1,121 @@
+"""Worker process main loop for the multiprocessing runtime.
+
+Each worker owns one end of a pipe to the master and loops:
+
+    request (piggy-backing the previous result) -> receive assignment ->
+    execute the chunk -> repeat; on Terminate, ship final stats and exit.
+
+Heterogeneity emulation: the paper's slow PEs are ~2.65x slower than its
+fast ones.  On a single host all cores run at the same speed, so a
+worker with ``slowdown = s`` executes its chunk once (for the result)
+and then re-executes it ``s - 1`` more times (discarding the output),
+making its wall-clock cost ``s``x the real cost without perturbing
+results.  Fractional slowdowns re-execute a prefix of the chunk.
+
+Load emulation: ``run_queue > 1`` makes the worker report a reduced ACP
+(distributed mode) -- the actual CPU contention for nondedicated runtime
+experiments comes from :func:`repro.workloads.matrix.matrix_add_load`
+processes started by the executor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Optional
+
+from ..core.acp import IMPROVED_ACP, AcpModel
+from ..workloads import Workload
+from .messages import Assign, Request, Terminate, WorkerStats
+
+__all__ = ["WorkerSpec", "worker_main"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerSpec(object):
+    """Static description of one runtime worker.
+
+    ``virtual_power`` feeds the ACP report; ``slowdown`` >= 1 emulates a
+    proportionally slower PE; ``run_queue`` is the worker's (static)
+    externally-imposed load for ACP purposes.
+    """
+
+    virtual_power: float = 1.0
+    slowdown: float = 1.0
+    run_queue: int = 1
+
+    def __post_init__(self) -> None:
+        if self.virtual_power <= 0:
+            raise ValueError("virtual_power must be > 0")
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1")
+        if self.run_queue < 1:
+            raise ValueError("run_queue must be >= 1")
+
+
+def _execute_with_slowdown(
+    workload: Workload, start: int, stop: int, slowdown: float
+):
+    """Execute a chunk, then burn ``slowdown - 1`` extra executions.
+
+    The burn goes through :meth:`Workload.burn`, which bypasses any
+    memoization so the extra executions really cost CPU.
+    """
+    result = workload.execute(start, stop)
+    extra = slowdown - 1.0
+    while extra > 0:
+        if extra >= 1.0:
+            workload.burn(start, stop)
+            extra -= 1.0
+        else:
+            span = stop - start
+            part = max(1, int(span * extra))
+            workload.burn(start, start + part)
+            break
+    return result
+
+
+def worker_main(
+    conn,
+    workload: Workload,
+    worker_id: int,
+    spec: Optional[WorkerSpec] = None,
+    distributed: bool = False,
+    acp_model: AcpModel = IMPROVED_ACP,
+) -> None:
+    """Run the request/compute loop until Terminate (process target)."""
+    spec = spec or WorkerSpec()
+    stats = WorkerStats()
+    acp = (
+        acp_model.acp(spec.virtual_power, spec.run_queue)
+        if distributed
+        else None
+    )
+    pending: Optional[tuple[int, object]] = None
+    try:
+        while True:
+            sent_at = time.perf_counter()
+            conn.send(
+                Request(worker_id=worker_id, acp=acp, result=pending,
+                        stats=stats)
+            )
+            pending = None
+            msg = conn.recv()
+            stats.wait_seconds += time.perf_counter() - sent_at
+            if isinstance(msg, Terminate):
+                break
+            assert isinstance(msg, Assign), f"unexpected message {msg!r}"
+            t0 = time.perf_counter()
+            payload = _execute_with_slowdown(
+                workload, msg.start, msg.stop, spec.slowdown
+            )
+            stats.compute_seconds += time.perf_counter() - t0
+            stats.chunks += 1
+            stats.iterations += msg.stop - msg.start
+            pending = (msg.start, payload)
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        # Master vanished (or interactive interrupt): exit quietly; the
+        # master side handles reassignment of any outstanding chunk.
+        pass
+    finally:
+        conn.close()

@@ -1,0 +1,53 @@
+"""Deterministic discrete-event simulation of a heterogeneous
+master--slave cluster: the stand-in for the paper's 9-workstation Sun
+testbed (see DESIGN.md for the substitution argument)."""
+
+from .cluster import ClusterSpec, NodeSpec
+from .engine import (
+    MasterSlaveSimulation,
+    StarvationError,
+    make_for_cluster,
+    simulate,
+)
+from .events import Event, EventQueue, SimulationError
+from .loadgen import (
+    ConstantLoad,
+    LoadTrace,
+    PeriodicLoad,
+    RandomLoad,
+    StepLoad,
+    integrate_compute,
+)
+from .metrics import ChunkRecord, SimResult, WorkerMetrics, imbalance
+from .trace import chunks_to_csv, chunks_to_json, gantt_chart
+from .affinity_engine import AffinitySimulation, simulate_affinity
+from .tree_engine import TreeSimulation, simulate_tree
+
+__all__ = [
+    "ClusterSpec",
+    "NodeSpec",
+    "Event",
+    "EventQueue",
+    "SimulationError",
+    "StarvationError",
+    "LoadTrace",
+    "ConstantLoad",
+    "StepLoad",
+    "PeriodicLoad",
+    "RandomLoad",
+    "integrate_compute",
+    "WorkerMetrics",
+    "ChunkRecord",
+    "SimResult",
+    "imbalance",
+    "chunks_to_csv",
+    "chunks_to_json",
+    "gantt_chart",
+    "MasterSlaveSimulation",
+    "simulate",
+    "make_for_cluster",
+    "TreeSimulation",
+    "simulate_tree",
+    "AffinitySimulation",
+    "simulate_affinity",
+]

@@ -1,0 +1,176 @@
+"""Affinity Scheduling (Markatos & LeBlanc 1994) -- paper reference [12].
+
+The paper's introduction cites affinity scheduling as part of the loop
+scheduling literature it builds on; it is implemented here as an extra
+decentralized baseline alongside TreeS.  The algorithm:
+
+* every PE starts with a *local queue* of ``I/p`` contiguous
+  iterations (weighted by virtual power in the heterogeneous variant);
+* a PE repeatedly takes ``ceil(local/k)`` iterations from the front of
+  its own queue (``k = p`` in the original), computing them before
+  taking the next slice -- large early takes, shrinking later ones,
+  like a per-PE GSS;
+* when its queue is empty it finds the **most loaded** PE and steals
+  ``ceil(victim/p)`` iterations from the *back* of that queue.
+
+Differences from TreeS: steal victims are chosen by load (global view),
+not by a fixed partner list, and the self-serve slice shrinks
+geometrically instead of being the whole block.  Results are flushed
+to the master at fixed epochs exactly as in the TreeS engine.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..workloads import Workload
+from .cluster import ClusterSpec
+from .loadgen import integrate_compute
+from .metrics import ChunkRecord, SimResult
+from .tree_engine import TreeSimulation, _TreeWorker
+
+__all__ = ["AffinitySimulation", "simulate_affinity"]
+
+
+class AffinitySimulation(TreeSimulation):
+    """Affinity scheduling on the TreeS engine chassis.
+
+    Reuses the worker/flush/accounting machinery of
+    :class:`~repro.simulation.tree_engine.TreeSimulation`; overrides
+    the *take* rule (geometric self-serve slices) and the *steal* rule
+    (most-loaded victim, ``1/p`` of its remainder).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        cluster: ClusterSpec,
+        weighted: bool = False,
+        flush_interval: float = 2.0,
+        min_steal: int = 2,
+        collect_results: bool = False,
+    ) -> None:
+        # Affinity's own slice rule replaces the fixed grain.
+        super().__init__(
+            workload,
+            cluster,
+            weighted=weighted,
+            flush_interval=flush_interval,
+            grain=1,
+            min_steal=min_steal,
+            collect_results=collect_results,
+        )
+
+    # -- take rule ---------------------------------------------------------
+
+    def _compute_next(self, w: _TreeWorker) -> None:
+        t = self.queue.now
+        if w.pending_items and t >= w.next_flush:
+            self._flush(w, final=False)
+            return
+        remaining = w.remaining()
+        if remaining == 0:
+            self._steal_from_most_loaded(w)
+            return
+        take = max(1, math.ceil(remaining / self.cluster.size))
+        block = w.pop_block(take)
+        assert block is not None
+        start, stop = block
+        cost = self.workload.chunk_cost(start, stop)
+        finish = integrate_compute(t, cost, w.node.speed, w.node.load)
+        w.metrics.t_comp += finish - t
+        w.metrics.iterations += stop - start
+        w.metrics.chunks += 1
+        w.pending_items += stop - start
+        self._chunks.append(
+            ChunkRecord(
+                worker=w.index,
+                start=start,
+                stop=stop,
+                assigned_at=t,
+                completed_at=finish,
+            )
+        )
+        if self.collect_results:
+            self._results.append(
+                (start, self.workload.execute(start, stop))
+            )
+        self.queue.schedule_at(
+            finish, lambda ev, s=w: self._compute_next(s),
+            kind="compute",
+        )
+
+    # -- steal rule ----------------------------------------------------------
+
+    def _steal_from_most_loaded(self, w: _TreeWorker) -> None:
+        victims = [
+            v for v in self.workers
+            if v.index != w.index and v.remaining() >= self.min_steal
+        ]
+        if not victims:
+            # Nothing stealable anywhere: finish at the next epoch.
+            t = self.queue.now
+            if w.pending_items and t < w.next_flush:
+                w.metrics.t_wait += w.next_flush - t
+                self.queue.schedule_at(
+                    w.next_flush,
+                    lambda ev, s=w: self._flush(s, final=True),
+                    kind="final-flush",
+                )
+            else:
+                self._flush(w, final=True)
+            return
+        victim = max(victims, key=lambda v: v.remaining())
+        rtt = (
+            w.node.transfer_time(self.cluster.request_bytes)
+            + victim.node.transfer_time(self.cluster.reply_bytes)
+        )
+        w.metrics.t_wait += rtt
+
+        def arrive(ev, thief=w, victim=victim):
+            remaining = victim.remaining()
+            if remaining < self.min_steal:
+                # Raced with the victim; try again.
+                self._steal_from_most_loaded(thief)
+                return
+            want = max(1, math.ceil(remaining / self.cluster.size))
+            stolen = victim.steal_half(self.min_steal)
+            # steal_half takes back ~half; trim to the affinity share
+            # (1/p) by returning the surplus front part to the victim.
+            if stolen is None:
+                self._steal_from_most_loaded(thief)
+                return
+            lo, hi = stolen
+            if hi - lo > want:
+                victim.ranges.append([lo, hi - want])
+                lo = hi - want
+            self._steals += 1
+            thief.ranges.append([lo, hi])
+            self._compute_next(thief)
+
+        self.queue.schedule(rtt, arrive, kind="steal")
+
+    def run(self) -> SimResult:
+        result = super().run()
+        result.scheme = "AS" + ("-w" if self.weighted else "")
+        return result
+
+
+def simulate_affinity(
+    workload: Workload,
+    cluster: ClusterSpec,
+    weighted: bool = False,
+    flush_interval: float = 2.0,
+    min_steal: int = 2,
+    collect_results: bool = False,
+) -> SimResult:
+    """Simulate one affinity-scheduling run (see
+    :class:`AffinitySimulation`)."""
+    return AffinitySimulation(
+        workload,
+        cluster,
+        weighted=weighted,
+        flush_interval=flush_interval,
+        min_steal=min_steal,
+        collect_results=collect_results,
+    ).run()

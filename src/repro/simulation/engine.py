@@ -1,0 +1,502 @@
+"""Master--slave discrete-event simulator for centralized schemes.
+
+This engine executes any :class:`repro.core.Scheduler` against a
+:class:`~repro.simulation.cluster.ClusterSpec` and a
+:class:`~repro.workloads.Workload`, reproducing the paper's protocol
+(Sec. 2.2 and 5) in virtual time:
+
+* idle slaves send requests to the master; every request except the
+  first **piggy-backs the previous chunk's results** (the paper found
+  end-of-run collection caused contention idling, so piggy-backing is
+  the protocol of record);
+* the master is a **single FIFO server**: requests queue while it is
+  busy (this is the contention source behind the p=2 speedup dip);
+* in distributed mode each slave samples its run queue at request time
+  and attaches its ACP; the scheduler sees it via
+  :class:`~repro.core.base.WorkerView` and applies the paper's
+  re-derivation rule internally;
+* computation advances at ``speed / Q(t)`` under the node's load trace
+  (nondedicated mode).
+
+Accounting matches Tables 2-3: per-PE ``T_com`` (link occupancy),
+``T_wait`` (master queueing/service + terminal idling until the run
+ends), ``T_comp`` (iteration execution), and ``T_p`` = the time the
+last result lands on the master.  For the fast PEs of Table 2 the paper
+rows sum to ``T_p`` -- that is terminal idling, and it is accounted
+here the same way.
+
+Start-up follows the paper's step 1(a): the master knows every
+participating slave's initial ACP before the first assignment ("wait
+for all workers with A_i > 0 to report").  Slaves whose ACP falls below
+the model's availability threshold sit the computation out; if *no*
+slave is available, :class:`StarvationError` is raised -- exactly the
+classic-DTSS deadlock the paper's Sec. 5.2(I) improvement fixes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from ..core import Scheduler, WorkerView, make
+from ..core.acp import IMPROVED_ACP, AcpModel
+from ..workloads import Workload
+from .cluster import ClusterSpec, NodeSpec
+from .events import EventQueue, SimulationError
+from .loadgen import integrate_compute
+from .metrics import ChunkRecord, SimResult, WorkerMetrics
+
+__all__ = [
+    "StarvationError",
+    "simulate",
+    "make_for_cluster",
+    "MasterSlaveSimulation",
+]
+
+SchedulerLike = Union[str, Scheduler, Callable[[int, int], Scheduler]]
+
+
+class StarvationError(SimulationError):
+    """No slave has ACP above the availability threshold (paper 5.2-I)."""
+
+
+def make_for_cluster(
+    scheme: str,
+    total: int,
+    cluster: ClusterSpec,
+    acp_model: AcpModel = IMPROVED_ACP,
+    **kwargs,
+) -> Scheduler:
+    """Build a scheduler for ``cluster``, wiring cluster-derived params.
+
+    Weighted schemes (WF, weighted static) receive the cluster's
+    virtual powers automatically; distributed schemes receive
+    ``acp_model``.
+    """
+    name = scheme.strip().upper()
+    if name in ("WF", "S-W", "SW"):
+        kwargs.setdefault("weights", cluster.virtual_powers())
+        if name != "WF":
+            return make("S", total, cluster.size, **kwargs)
+    sched = None
+    if name in ("DTSS", "DFSS", "DFISS", "DTFSS"):
+        kwargs.setdefault("acp_model", acp_model)
+    sched = make(name if name != "S-W" else "S", total, cluster.size,
+                 **kwargs)
+    return sched
+
+
+@dataclasses.dataclass
+class _WorkerState(object):
+    index: int
+    node: NodeSpec
+    metrics: WorkerMetrics
+    pending_piggyback: float = 0.0  # bytes of results to attach
+    pending_chunk: Optional[tuple[int, int, int]] = None  # start, stop, stage
+    done: bool = False
+    dead: bool = False
+    #: interval whose results have not yet reached the master (lost if
+    #: this worker dies); mirrors ``outstanding`` in the runtime master.
+    unacked: Optional[tuple[int, int]] = None
+    last_activity: float = 0.0
+
+
+class MasterSlaveSimulation(object):
+    """One simulated run; construct and call :meth:`run` once."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        workload: Workload,
+        cluster: ClusterSpec,
+        acp_model: AcpModel = IMPROVED_ACP,
+        collect_results: bool = False,
+    ) -> None:
+        if scheduler.workers != cluster.size:
+            raise SimulationError(
+                f"scheduler built for {scheduler.workers} workers but "
+                f"cluster has {cluster.size}"
+            )
+        if scheduler.total != workload.size:
+            raise SimulationError(
+                f"scheduler covers {scheduler.total} iterations but "
+                f"workload has {workload.size}"
+            )
+        self.scheduler = scheduler
+        self.workload = workload
+        self.cluster = cluster
+        self.acp_model = acp_model
+        self.collect_results = collect_results
+        self.queue = EventQueue()
+        self.workers = [
+            _WorkerState(
+                index=i, node=node, metrics=WorkerMetrics(name=node.name)
+            )
+            for i, node in enumerate(cluster.nodes)
+        ]
+        self._master_free = 0.0
+        self._master_link_free = 0.0
+        self._last_result_arrival = 0.0
+        self._chunks: list[ChunkRecord] = []
+        self._results: list[tuple[int, np.ndarray]] = []
+        self._participants: list[_WorkerState] = []
+        #: intervals lost to worker deaths, awaiting reassignment.
+        self._requeue: list[tuple[int, int]] = []
+        #: participants with a scheduled death still ahead.
+        self._pending_failers: set[int] = set()
+        #: workers parked by the master because work may still reappear
+        #: (a failing peer holds unacked results).
+        self._parked: list[_WorkerState] = []
+        #: shared-medium availability per LAN segment id.
+        self._segment_free: dict[str, float] = {}
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _acp_now(self, state: _WorkerState, t: float) -> int:
+        node = state.node
+        return self.acp_model.acp(
+            float(node.virtual_power or 1.0), node.load.q_at(t)
+        )
+
+    def _available(self, state: _WorkerState, t: float) -> bool:
+        node = state.node
+        return self.acp_model.available(
+            float(node.virtual_power or 1.0), node.load.q_at(t)
+        )
+
+    def _acquire_segment(
+        self, node: NodeSpec, t: float, duration: float
+    ) -> float:
+        """Earliest start of a ``duration`` transfer at/after ``t``.
+
+        On a shared segment the medium is a single resource: the
+        transfer waits for it and then occupies it.  Switched nodes
+        (``segment=None``) start immediately.
+        """
+        if node.segment is None:
+            return t
+        free = self._segment_free.get(node.segment, 0.0)
+        start = max(t, free)
+        self._segment_free[node.segment] = start + duration
+        return start
+
+    # -- protocol events ---------------------------------------------------------
+
+    def _send_request(self, state: _WorkerState) -> None:
+        """Worker transmits a request (with piggy-backed results)."""
+        if state.dead:
+            return
+        t = self.queue.now
+        node = state.node
+        nbytes = self.cluster.request_bytes + state.pending_piggyback
+        carries_results = state.pending_piggyback > 0
+        state.pending_piggyback = 0.0
+        tx = node.transfer_time(nbytes)
+        # Shared-medium contention: wait for the segment, then hold it.
+        tx_start = self._acquire_segment(node, t, tx)
+        state.metrics.t_wait += tx_start - t
+        state.metrics.t_com += tx
+        acp = (
+            self._acp_now(state, t)
+            if self.scheduler.distributed
+            else None
+        )
+        self.queue.schedule_at(
+            tx_start + tx,
+            lambda ev, s=state, a=acp, r=carries_results, b=nbytes:
+                self._master_receive(s, a, r, b),
+            kind="request-arrival",
+        )
+
+    def _master_receive(
+        self,
+        state: _WorkerState,
+        acp: Optional[int],
+        carries_results: bool,
+        nbytes: float,
+    ) -> None:
+        if state.dead:
+            # Fail-stop semantics: a dying worker's in-flight messages
+            # are lost with it (its unacked interval was requeued by
+            # the death handler).
+            return
+        port_arrival = self.queue.now
+        # The master's single NIC: inbound payloads serialize (the
+        # paper's "contend for master access" effect on result
+        # collection).
+        recv_start = max(port_arrival, self._master_link_free)
+        arrival = recv_start + nbytes / self.cluster.master_bandwidth
+        self._master_link_free = arrival
+        if carries_results:
+            self._last_result_arrival = max(
+                self._last_result_arrival, arrival
+            )
+            state.unacked = None  # results safely delivered
+        service_start = max(arrival, self._master_free)
+        service_end = service_start + self.cluster.master_service
+        self._master_free = service_end
+        # Master NIC queueing + master queueing + service is wait time
+        # for the slave.
+        state.metrics.t_wait += service_end - port_arrival
+        assignment: Optional[tuple[int, int, int]] = None
+        if self._requeue:
+            start, stop = self._requeue.pop()
+            assignment = (start, stop, 0)
+        else:
+            view = WorkerView(
+                worker_id=state.index,
+                virtual_power=float(state.node.virtual_power or 1.0),
+                run_queue=state.node.load.q_at(arrival),
+                acp=acp,
+            )
+            chunk = self.scheduler.next_chunk(view)
+            if chunk is not None:
+                assignment = (chunk.start, chunk.stop, chunk.stage)
+        if assignment is None:
+            if self._work_may_reappear():
+                # A failing peer still holds undelivered results: park
+                # this worker; its reply comes when (if) work reappears.
+                self._parked.append(state)
+                return
+            reply_tx = state.node.transfer_time(
+                self.cluster.reply_bytes
+            )
+            state.metrics.t_com += reply_tx
+            self.queue.schedule_at(
+                service_end + reply_tx,
+                lambda ev, s=state: self._worker_terminate(s),
+                kind="terminate",
+            )
+            return
+        reply_tx = state.node.transfer_time(self.cluster.reply_bytes)
+        reply_start = self._acquire_segment(
+            state.node, service_end, reply_tx
+        )
+        state.metrics.t_wait += reply_start - service_end
+        state.metrics.t_com += reply_tx
+        state.pending_chunk = assignment
+        self.queue.schedule_at(
+            reply_start + reply_tx,
+            lambda ev, s=state: self._worker_compute(s),
+            kind="assign",
+        )
+
+    def _worker_compute(self, state: _WorkerState) -> None:
+        if state.dead:
+            return
+        t = self.queue.now
+        assert state.pending_chunk is not None
+        start, stop, stage = state.pending_chunk
+        state.pending_chunk = None
+        state.unacked = (start, stop)
+        cost = self.workload.chunk_cost(start, stop)
+        finish = integrate_compute(t, cost, state.node.speed,
+                                   state.node.load)
+        state.metrics.t_comp += finish - t
+        state.metrics.chunks += 1
+        state.metrics.iterations += stop - start
+        self._chunks.append(
+            ChunkRecord(
+                worker=state.index,
+                start=start,
+                stop=stop,
+                assigned_at=t,
+                completed_at=finish,
+                stage=stage,
+            )
+        )
+        if self.collect_results:
+            self._results.append((start, self.workload.execute(start, stop)))
+        state.pending_piggyback = (
+            (stop - start) * self.cluster.result_bytes_per_item
+        )
+        self.queue.schedule_at(
+            finish,
+            lambda ev, s=state: self._send_request(s),
+            kind="request-send",
+        )
+
+    def _worker_terminate(self, state: _WorkerState) -> None:
+        state.done = True
+        state.metrics.finished_at = self.queue.now
+
+    # -- failure injection --------------------------------------------------
+
+    def _work_may_reappear(self) -> bool:
+        """True while a still-failing worker holds undelivered work."""
+        return any(
+            s.index in self._pending_failers
+            and (s.unacked is not None or s.pending_chunk is not None)
+            for s in self._participants
+        )
+
+    def _worker_die(self, state: _WorkerState) -> None:
+        """Fail-stop: lose undelivered work, requeue it, unpark peers."""
+        t = self.queue.now
+        state.dead = True
+        state.done = True
+        state.metrics.finished_at = t
+        self._pending_failers.discard(state.index)
+        lost: list[tuple[int, int]] = []
+        if state.pending_chunk is not None:
+            start, stop, _stage = state.pending_chunk
+            lost.append((start, stop))
+            state.pending_chunk = None
+        if state.unacked is not None:
+            start, stop = state.unacked
+            lost.append((start, stop))
+            state.unacked = None
+            # Remove the (now lost) execution record; it will re-enter
+            # when a survivor recomputes the interval.
+            for i in range(len(self._chunks) - 1, -1, -1):
+                rec = self._chunks[i]
+                if rec.worker == state.index and rec.start == start \
+                        and rec.stop == stop:
+                    if rec.completed_at > t:
+                        # Died mid-chunk: un-book the never-executed
+                        # tail of the pre-integrated compute time.
+                        state.metrics.t_comp -= rec.completed_at - t
+                    state.metrics.chunks -= 1
+                    state.metrics.iterations -= stop - start
+                    del self._chunks[i]
+                    break
+            if self.collect_results:
+                for i in range(len(self._results) - 1, -1, -1):
+                    if self._results[i][0] == start:
+                        del self._results[i]
+                        break
+        self._requeue.extend(lost)
+        alive = [s for s in self._participants if not s.dead]
+        if not alive and (self._requeue or not self.scheduler.finished):
+            raise SimulationError(
+                "every worker died with iterations outstanding; the "
+                "loop cannot complete"
+            )
+        self._drain_parked()
+
+    def _drain_parked(self) -> None:
+        """Hand requeued work to parked workers; terminate the rest."""
+        while self._requeue and self._parked:
+            state = self._parked.pop(0)
+            if state.dead:
+                continue
+            start, stop = self._requeue.pop()
+            reply_tx = state.node.transfer_time(self.cluster.reply_bytes)
+            state.metrics.t_com += reply_tx
+            state.pending_chunk = (start, stop, 0)
+            self.queue.schedule(
+                reply_tx,
+                lambda ev, s=state: self._worker_compute(s),
+                kind="assign",
+            )
+        if not self._work_may_reappear() and not self._requeue \
+                and self.scheduler.finished:
+            for state in self._parked:
+                if state.dead:
+                    continue
+                reply_tx = state.node.transfer_time(
+                    self.cluster.reply_bytes
+                )
+                state.metrics.t_com += reply_tx
+                self.queue.schedule(
+                    reply_tx,
+                    lambda ev, s=state: self._worker_terminate(s),
+                    kind="terminate",
+                )
+            self._parked.clear()
+
+    # -- run -----------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        # Step 1(a): availability screen + initial ACP registration.
+        if self.scheduler.distributed:
+            self._participants = [
+                s for s in self.workers if self._available(s, 0.0)
+            ]
+            if not self._participants:
+                raise StarvationError(
+                    "no worker has ACP above the availability threshold; "
+                    "this is the classic-DTSS starvation the paper's "
+                    "Sec. 5.2 scaled ACP model avoids"
+                )
+            for s in self._participants:
+                self.scheduler.observe_acp(s.index, self._acp_now(s, 0.0))
+        else:
+            self._participants = list(self.workers)
+        for s in self._participants:
+            if s.node.fails_at is not None:
+                self._pending_failers.add(s.index)
+                self.queue.schedule_at(
+                    float(s.node.fails_at),
+                    lambda ev, state=s: self._worker_die(state),
+                    kind="death",
+                )
+        for s in self._participants:
+            self._send_request(s)
+        self.queue.run()
+        t_p = self._last_result_arrival
+        # Terminal idling: slaves that finished early wait for the run
+        # to end (paper rows for fast PEs sum to ~T_p).  Dead workers
+        # do not idle -- their clock stopped at death.
+        for s in self._participants:
+            if s.dead:
+                continue
+            tracked = s.metrics.busy
+            if tracked < t_p:
+                s.metrics.t_wait += t_p - tracked
+        result = SimResult(
+            scheme=self.scheduler.name,
+            workers=[s.metrics for s in self.workers],
+            t_p=t_p,
+            chunks=self._chunks,
+            rederivations=getattr(self.scheduler, "rederivations", 0),
+            events=self.queue.processed,
+        )
+        assigned = sum(c.size for c in self._chunks)
+        if assigned != self.workload.size:
+            raise SimulationError(
+                f"scheduling leak: assigned {assigned} of "
+                f"{self.workload.size} iterations"
+            )
+        if self.collect_results:
+            self._results.sort(key=lambda pair: pair[0])
+            result.results = (
+                np.concatenate([r for _, r in self._results])
+                if self._results
+                else np.zeros(0)
+            )
+        return result
+
+
+def simulate(
+    scheme: SchedulerLike,
+    workload: Workload,
+    cluster: ClusterSpec,
+    acp_model: AcpModel = IMPROVED_ACP,
+    collect_results: bool = False,
+    **scheme_kwargs,
+) -> SimResult:
+    """Simulate one run of ``scheme`` over ``workload`` on ``cluster``.
+
+    ``scheme`` may be a registry name (``"TSS"``, ``"DFISS"``, ...), a
+    ready :class:`~repro.core.Scheduler` (must match the workload and
+    cluster sizes), or a factory ``f(total, workers) -> Scheduler``.
+    """
+    if isinstance(scheme, str):
+        scheduler = make_for_cluster(
+            scheme, workload.size, cluster, acp_model, **scheme_kwargs
+        )
+    elif isinstance(scheme, Scheduler):
+        scheduler = scheme
+    else:
+        scheduler = scheme(workload.size, cluster.size)
+    sim = MasterSlaveSimulation(
+        scheduler,
+        workload,
+        cluster,
+        acp_model=acp_model,
+        collect_results=collect_results,
+    )
+    return sim.run()

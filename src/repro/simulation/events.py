@@ -1,0 +1,126 @@
+"""Discrete-event core: a deterministic time-ordered event queue.
+
+The cluster simulators (:mod:`repro.simulation.engine` and
+:mod:`repro.simulation.tree_engine`) are classic event-driven
+simulations: every state change (message arrival, computation finish,
+flush timer) is an :class:`Event` popped in time order.  Determinism is
+load-bearing -- experiments must be exactly reproducible -- so ties are
+broken by a monotonically increasing sequence number, never by object
+identity or insertion hazards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventQueue", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on simulator invariant violations (e.g. time reversal)."""
+
+
+@dataclasses.dataclass(frozen=True, order=False)
+class Event(object):
+    """A scheduled state change.
+
+    ``action`` is invoked with the event when it fires.  ``payload`` is
+    free-form context for the action.  Events compare by ``(time, seq)``
+    via the queue, not by field comparison.
+    """
+
+    time: float
+    seq: int
+    action: Callable[["Event"], None]
+    kind: str = ""
+    payload: Any = None
+
+
+class EventQueue(object):
+    """Min-heap of events ordered by ``(time, seq)``; tracks the clock.
+
+    The clock only moves forward: scheduling an event in the past is an
+    error (it would silently reorder causality), and popping advances
+    the clock to the event's timestamp.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[Event], None],
+        kind: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``action`` to fire ``delay`` from the current time."""
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule into the past (delay={delay})"
+            )
+        return self.schedule_at(self.now + delay, action, kind, payload)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[Event], None],
+        kind: str = "",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        event = Event(
+            time=float(time),
+            seq=next(self._seq),
+            action=action,
+            kind=kind,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop and return the next event, advancing the clock; None if
+        the queue is empty."""
+        if not self._heap:
+            return None
+        time, _seq, event = heapq.heappop(self._heap)
+        if time < self.now:  # pragma: no cover - guarded at insert
+            raise SimulationError("event queue produced a time reversal")
+        self.now = time
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000
+            ) -> int:
+        """Drain the queue, firing each event's action.
+
+        ``until`` bounds virtual time (events beyond it stay queued);
+        ``max_events`` is a runaway guard.  Returns events processed.
+        """
+        fired = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            event = self.pop()
+            assert event is not None
+            event.action(event)
+            fired += 1
+            self.processed += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely a livelock"
+                )
+        return fired

@@ -1,0 +1,118 @@
+"""Per-PE time accounting and run-level results.
+
+The paper tabulates, per slave, ``T_com / T_wait / T_comp`` (Tables 2
+and 3) and the total parallel time ``T_p`` "measured on the Master PE".
+The simulator accounts the same three buckets:
+
+* ``t_com``  -- time the PE's messages occupy its link (request +
+  piggy-backed results out, reply in, result flushes for TreeS);
+* ``t_wait`` -- time between finishing a transmission and receiving the
+  next assignment that is *not* link time: master queueing + service,
+  plus terminal idling before the run ends;
+* ``t_comp`` -- time spent executing loop iterations (wall time on the
+  PE, i.e. inflated by external load in nondedicated mode).
+
+``T_p`` is the virtual time at which the last result lands on the
+master.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["WorkerMetrics", "SimResult", "imbalance"]
+
+
+@dataclasses.dataclass
+class WorkerMetrics(object):
+    """Accumulated times and counters for one slave PE."""
+
+    name: str
+    t_com: float = 0.0
+    t_wait: float = 0.0
+    t_comp: float = 0.0
+    chunks: int = 0
+    iterations: int = 0
+    finished_at: float = 0.0
+
+    @property
+    def busy(self) -> float:
+        """Total accounted time (com + wait + comp)."""
+        return self.t_com + self.t_wait + self.t_comp
+
+    def row(self) -> str:
+        """The paper's cell format: ``T_com/T_wait/T_comp``."""
+        return f"{self.t_com:.1f}/{self.t_wait:.1f}/{self.t_comp:.1f}"
+
+
+@dataclasses.dataclass
+class ChunkRecord(object):
+    """One scheduling decision, for traces and post-hoc analysis."""
+
+    worker: int
+    start: int
+    stop: int
+    assigned_at: float
+    completed_at: float
+    stage: int = 0
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+@dataclasses.dataclass
+class SimResult(object):
+    """Everything a simulated run produced."""
+
+    scheme: str
+    workers: list[WorkerMetrics]
+    t_p: float
+    chunks: list[ChunkRecord]
+    results: Optional[np.ndarray] = None
+    rederivations: int = 0
+    events: int = 0
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(w.iterations for w in self.workers)
+
+    @property
+    def total_chunks(self) -> int:
+        return sum(w.chunks for w in self.workers)
+
+    def comp_times(self) -> list[float]:
+        return [w.t_comp for w in self.workers]
+
+    def comp_imbalance(self) -> float:
+        """Imbalance of computation time across PEs (see :func:`imbalance`)."""
+        return imbalance(self.comp_times())
+
+    def summary(self) -> str:
+        lines = [f"{self.scheme}: T_p = {self.t_p:.2f}s, "
+                 f"{self.total_chunks} chunks, "
+                 f"imbalance = {self.comp_imbalance():.3f}"]
+        for i, w in enumerate(self.workers, start=1):
+            lines.append(f"  PE{i} ({w.name}): {w.row()}  "
+                         f"[{w.chunks} chunks, {w.iterations} iters]")
+        return "\n".join(lines)
+
+
+def imbalance(values: list[float]) -> float:
+    """Relative imbalance: ``(max - min) / mean`` (0 = perfectly even).
+
+    Used to check the paper's qualitative claims ("the execution is
+    well-balanced, in terms of the computation times" for distributed
+    schemes; "not well-balanced" for simple ones on the heterogeneous
+    cluster).
+    """
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0 or not math.isfinite(mean):
+        return 0.0
+    return (max(values) - min(values)) / mean

@@ -1,0 +1,333 @@
+"""Discrete-event execution of Tree Scheduling (TreeS).
+
+TreeS (Kim & Purtilo 1996; paper Sec. 5) is decentralized: there is no
+per-chunk master request.  Each slave starts with a contiguous block
+(even split in the *simple* experiments, virtual-power-proportional in
+the *distributed* ones); a slave that runs dry steals **half of a
+predefined partner's remaining iterations**, sweeping its partner list
+in the fixed order of :func:`repro.core.tree.partner_order`.
+
+Results "still have to be collected on a single central processor"; the
+paper found that sending everything at the end made slaves idle in a
+contention storm, so its implementation of record flushes "from time to
+time, at predefined time intervals" -- reproduced here as a blocking
+flush of accumulated results every ``flush_interval`` of computation.
+
+Termination: work only shrinks, so a slave whose full partner sweep
+finds nothing stealable (every partner holds < ``min_steal``) can
+finish -- at most ``p - 1`` iterations are outstanding and their owners
+will complete them.  ``T_p`` is the arrival of the last result flush at
+the master.
+
+Mechanics: a slave computes ``grain`` iterations per event, so a victim
+can be stolen from between events (grain 1 = per-iteration fidelity);
+steal round-trips cost request/reply transfers on both links and are
+accounted as wait time for the thief.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..core.tree import TreePartition, partner_order
+from ..workloads import Workload
+from .cluster import ClusterSpec, NodeSpec
+from .events import EventQueue, SimulationError
+from .loadgen import integrate_compute
+from .metrics import ChunkRecord, SimResult, WorkerMetrics
+
+__all__ = ["simulate_tree", "TreeSimulation"]
+
+
+@dataclasses.dataclass
+class _TreeWorker(object):
+    index: int
+    node: NodeSpec
+    metrics: WorkerMetrics
+    ranges: list[list[int]]  # list of mutable [start, stop) ranges
+    partners: list[int]
+    pending_items: int = 0  # computed results not yet flushed
+    next_flush: float = 0.0
+    sweep_pos: int = 0
+    done: bool = False
+    current_block: Optional[tuple[int, int]] = None
+
+    def remaining(self) -> int:
+        return sum(r[1] - r[0] for r in self.ranges)
+
+    def pop_block(self, grain: int) -> Optional[tuple[int, int]]:
+        """Take up to ``grain`` iterations from the front of the queue."""
+        while self.ranges and self.ranges[0][0] >= self.ranges[0][1]:
+            self.ranges.pop(0)
+        if not self.ranges:
+            return None
+        r = self.ranges[0]
+        take = min(grain, r[1] - r[0])
+        block = (r[0], r[0] + take)
+        r[0] += take
+        if r[0] >= r[1]:
+            self.ranges.pop(0)
+        return block
+
+    def steal_half(self, min_steal: int) -> Optional[tuple[int, int]]:
+        """Give away the back half of the remaining work, if enough."""
+        total = self.remaining()
+        if total < min_steal:
+            return None
+        take = total // 2
+        stolen_lo: Optional[int] = None
+        stolen_hi: Optional[int] = None
+        # Peel ranges from the tail.  TreeS transfers a single interval
+        # when possible; across multiple ranges we return the last
+        # contiguous piece and leave the rest for the next steal.
+        last = self.ranges[-1]
+        size = last[1] - last[0]
+        if size <= take:
+            stolen_lo, stolen_hi = last[0], last[1]
+            self.ranges.pop()
+        else:
+            stolen_lo, stolen_hi = last[1] - take, last[1]
+            last[1] -= take
+        return (stolen_lo, stolen_hi)
+
+
+class TreeSimulation(object):
+    """One simulated TreeS run; construct and call :meth:`run` once."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        cluster: ClusterSpec,
+        weighted: bool = False,
+        flush_interval: float = 2.0,
+        grain: int = 1,
+        min_steal: int = 2,
+        collect_results: bool = False,
+    ) -> None:
+        if flush_interval <= 0:
+            raise SimulationError("flush_interval must be > 0")
+        if grain < 1:
+            raise SimulationError(f"grain must be >= 1, got {grain}")
+        if min_steal < 2:
+            raise SimulationError(f"min_steal must be >= 2, got {min_steal}")
+        self.workload = workload
+        self.cluster = cluster
+        self.flush_interval = float(flush_interval)
+        self.grain = int(grain)
+        self.min_steal = int(min_steal)
+        self.collect_results = collect_results
+        self.queue = EventQueue()
+        partition = (
+            TreePartition.weighted(
+                workload.size, cluster.virtual_powers()
+            )
+            if weighted
+            else TreePartition.even(workload.size, cluster.size)
+        )
+        blocks = partition.blocks()
+        self.workers = [
+            _TreeWorker(
+                index=i,
+                node=node,
+                metrics=WorkerMetrics(name=node.name),
+                ranges=[[lo, hi]] if hi > lo else [],
+                partners=partner_order(i, cluster.size),
+            )
+            for i, (node, (lo, hi)) in enumerate(zip(cluster.nodes, blocks))
+        ]
+        self.weighted = weighted
+        self._master_link_free = 0.0
+        self._last_result_arrival = 0.0
+        self._chunks: list[ChunkRecord] = []
+        self._results: list[tuple[int, np.ndarray]] = []
+        self._steals = 0
+
+    # -- phases ------------------------------------------------------------------
+
+    def _next_epoch(self, t: float) -> float:
+        """First flush epoch strictly after ``t`` (fixed global grid).
+
+        The paper's TreeS sends results "at predefined time intervals";
+        a *global* epoch grid means all slaves flush in the same window
+        and contend for the master -- the residual contention the paper
+        observed ("cannot be totally eliminated").
+        """
+        import math as _math
+
+        return (_math.floor(t / self.flush_interval) + 1) \
+            * self.flush_interval
+
+    def _start_worker(self, w: _TreeWorker) -> None:
+        # Initial allocation message from the master.
+        delay = w.node.transfer_time(self.cluster.reply_bytes)
+        w.metrics.t_com += delay
+        w.next_flush = self._next_epoch(delay)
+        self.queue.schedule(
+            delay, lambda ev, s=w: self._compute_next(s), kind="start"
+        )
+
+    def _compute_next(self, w: _TreeWorker) -> None:
+        t = self.queue.now
+        if w.pending_items and t >= w.next_flush:
+            self._flush(w, final=False)
+            return
+        block = w.pop_block(self.grain)
+        if block is None:
+            self._begin_sweep(w)
+            return
+        start, stop = block
+        cost = self.workload.chunk_cost(start, stop)
+        finish = integrate_compute(t, cost, w.node.speed, w.node.load)
+        w.metrics.t_comp += finish - t
+        w.metrics.iterations += stop - start
+        w.metrics.chunks += 1
+        w.pending_items += stop - start
+        self._chunks.append(
+            ChunkRecord(
+                worker=w.index,
+                start=start,
+                stop=stop,
+                assigned_at=t,
+                completed_at=finish,
+            )
+        )
+        if self.collect_results:
+            self._results.append((start, self.workload.execute(start, stop)))
+        self.queue.schedule_at(
+            finish, lambda ev, s=w: self._compute_next(s), kind="compute"
+        )
+
+    def _flush(self, w: _TreeWorker, final: bool) -> None:
+        t = self.queue.now
+        nbytes = (
+            self.cluster.request_bytes
+            + w.pending_items * self.cluster.result_bytes_per_item
+        )
+        items = w.pending_items
+        w.pending_items = 0
+        tx = w.node.transfer_time(nbytes)
+        w.metrics.t_com += tx
+        # The master's single inbound NIC serializes concurrent flushes;
+        # the sender blocks (flow control) until its data has landed --
+        # the paper's "contend for master access in order to send their
+        # results ... they will have to idle" effect.
+        port_arrival = t + tx
+        recv_start = max(port_arrival, self._master_link_free)
+        arrival = recv_start + nbytes / self.cluster.master_bandwidth
+        self._master_link_free = arrival
+        w.metrics.t_wait += arrival - port_arrival
+        w.next_flush = self._next_epoch(arrival)
+
+        def arrive(ev, items=items, s=w, final=final):
+            if items:
+                self._last_result_arrival = max(
+                    self._last_result_arrival, self.queue.now
+                )
+            if final:
+                s.done = True
+                s.metrics.finished_at = self.queue.now
+
+        self.queue.schedule_at(arrival, arrive, kind="flush-arrival")
+        if not final:
+            self.queue.schedule_at(
+                arrival, lambda ev, s=w: self._compute_next(s),
+                kind="resume",
+            )
+
+    def _begin_sweep(self, w: _TreeWorker) -> None:
+        w.sweep_pos = 0
+        self._try_steal(w)
+
+    def _try_steal(self, w: _TreeWorker) -> None:
+        if w.sweep_pos >= len(w.partners):
+            # Full sweep dry: nothing stealable anywhere; send the last
+            # results at the next flush epoch (idling until then, as the
+            # paper's interval-based collection implies).
+            t = self.queue.now
+            if w.pending_items and t < w.next_flush:
+                w.metrics.t_wait += w.next_flush - t
+                self.queue.schedule_at(
+                    w.next_flush,
+                    lambda ev, s=w: self._flush(s, final=True),
+                    kind="final-flush",
+                )
+            else:
+                self._flush(w, final=True)
+            return
+        victim = self.workers[w.partners[w.sweep_pos]]
+        w.sweep_pos += 1
+        # Steal round trip: request over the thief's link, reply over
+        # the victim's.  The thief idles for the duration.
+        rtt = (
+            w.node.transfer_time(self.cluster.request_bytes)
+            + victim.node.transfer_time(self.cluster.reply_bytes)
+        )
+        w.metrics.t_wait += rtt
+
+        def arrive(ev, thief=w, victim=victim):
+            stolen = victim.steal_half(self.min_steal)
+            if stolen is None:
+                self._try_steal(thief)
+            else:
+                self._steals += 1
+                thief.ranges.append([stolen[0], stolen[1]])
+                self._compute_next(thief)
+
+        self.queue.schedule(rtt, arrive, kind="steal")
+
+    # -- run ----------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        for w in self.workers:
+            self._start_worker(w)
+        self.queue.run()
+        t_p = self._last_result_arrival
+        for w in self.workers:
+            tracked = w.metrics.busy
+            if tracked < t_p:
+                w.metrics.t_wait += t_p - tracked
+        computed = sum(c.size for c in self._chunks)
+        if computed != self.workload.size:
+            raise SimulationError(
+                f"TreeS leak: computed {computed} of {self.workload.size}"
+            )
+        result = SimResult(
+            scheme="TreeS" + ("-w" if self.weighted else ""),
+            workers=[w.metrics for w in self.workers],
+            t_p=t_p,
+            chunks=self._chunks,
+            events=self.queue.processed,
+        )
+        result.rederivations = self._steals  # repurposed: steal count
+        if self.collect_results:
+            self._results.sort(key=lambda pair: pair[0])
+            result.results = (
+                np.concatenate([r for _, r in self._results])
+                if self._results
+                else np.zeros(0)
+            )
+        return result
+
+
+def simulate_tree(
+    workload: Workload,
+    cluster: ClusterSpec,
+    weighted: bool = False,
+    flush_interval: float = 2.0,
+    grain: int = 1,
+    min_steal: int = 2,
+    collect_results: bool = False,
+) -> SimResult:
+    """Simulate one TreeS run (see :class:`TreeSimulation`)."""
+    return TreeSimulation(
+        workload,
+        cluster,
+        weighted=weighted,
+        flush_interval=flush_interval,
+        grain=grain,
+        min_steal=min_steal,
+        collect_results=collect_results,
+    ).run()

@@ -1,0 +1,134 @@
+"""Workload protocol: a parallel loop with per-iteration costs.
+
+The paper's loop taxonomy (Sec. 2.1) classifies parallel loops by the
+shape of ``L(i)``, the execution time of iteration ``i``: *uniform*,
+*linearly distributed* (increasing/decreasing), *conditional*, and
+*irregular* (the Mandelbrot case -- "the most severe test for a
+scheduling scheme").
+
+A :class:`Workload` exposes both faces a scheduling experiment needs:
+
+* an **abstract cost profile** ``cost(i)`` in *basic computations*
+  (the paper's Figure 1 y-axis) -- the discrete-event simulator charges
+  ``cost(chunk) / effective_speed`` of virtual time per chunk;
+* a **concrete executor** ``execute(start, stop)`` that really computes
+  the iterations -- the multiprocessing runtime runs this, and engines
+  use it to verify that scheduled execution reproduces serial results.
+
+Costs are cached as a NumPy vector with a prefix-sum, so chunk costs are
+O(1) regardless of chunk size.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Workload", "WorkloadError"]
+
+
+class WorkloadError(ValueError):
+    """Raised for invalid workload parameters or out-of-range indices."""
+
+
+class Workload(ABC):
+    """A parallel loop of ``size`` independent iterations ("tasks")."""
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise WorkloadError(f"size must be >= 0, got {size}")
+        self._size = int(size)
+        self._costs: Optional[np.ndarray] = None
+        self._prefix: Optional[np.ndarray] = None
+
+    @property
+    def size(self) -> int:
+        """Number of loop iterations ``I``."""
+        return self._size
+
+    #: short label used in experiment reports.
+    name: str = "workload"
+
+    # -- cost profile --------------------------------------------------------
+
+    @abstractmethod
+    def _compute_costs(self) -> np.ndarray:
+        """Return the full ``L(i)`` vector (float64, length ``size``)."""
+
+    def costs(self) -> np.ndarray:
+        """The full cost vector, computed once and cached (read-only)."""
+        if self._costs is None:
+            costs = np.asarray(self._compute_costs(), dtype=np.float64)
+            if costs.shape != (self._size,):
+                raise WorkloadError(
+                    f"cost vector shape {costs.shape} != ({self._size},)"
+                )
+            if self._size and costs.min() < 0:
+                raise WorkloadError("iteration costs must be >= 0")
+            costs.setflags(write=False)
+            self._costs = costs
+            prefix = np.concatenate(([0.0], np.cumsum(costs)))
+            prefix.setflags(write=False)
+            self._prefix = prefix
+        return self._costs
+
+    def cost(self, index: int) -> float:
+        """``L(index)``: basic computations for one iteration."""
+        if not 0 <= index < self._size:
+            raise WorkloadError(
+                f"iteration {index} out of range [0, {self._size})"
+            )
+        return float(self.costs()[index])
+
+    def chunk_cost(self, start: int, stop: int) -> float:
+        """Total cost of iterations ``[start, stop)`` in O(1)."""
+        if not 0 <= start <= stop <= self._size:
+            raise WorkloadError(
+                f"chunk [{start}, {stop}) out of range [0, {self._size}]"
+            )
+        self.costs()
+        assert self._prefix is not None
+        return float(self._prefix[stop] - self._prefix[start])
+
+    def total_cost(self) -> float:
+        """Total serial basic computations of the whole loop."""
+        return self.chunk_cost(0, self._size)
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, start: int, stop: int) -> np.ndarray:
+        """Actually compute iterations ``[start, stop)``; return results.
+
+        The default implementation returns the cost values themselves
+        (adequate for synthetic loops whose "result" is their profile);
+        real workloads (Mandelbrot) override this with the true
+        computation.  Results concatenated over any partition of
+        ``[0, size)`` in index order must equal a serial run -- engines
+        assert this.
+        """
+        if not 0 <= start <= stop <= self._size:
+            raise WorkloadError(
+                f"chunk [{start}, {stop}) out of range [0, {self._size}]"
+            )
+        return np.asarray(self.costs()[start:stop])
+
+    def execute_serial(self) -> np.ndarray:
+        """Run the whole loop serially (baseline for correctness/speedup)."""
+        return self.execute(0, self._size)
+
+    def burn(self, start: int, stop: int) -> None:
+        """Re-do the work of ``[start, stop)`` without using any cache.
+
+        The multiprocessing runtime emulates slower PEs by re-executing
+        chunks; workloads that memoize results (Mandelbrot) override
+        this so the re-execution actually burns CPU.
+        """
+        self.execute(start, stop)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} size={self._size}>"

@@ -1,0 +1,92 @@
+"""Cross-check the closed-form step counts against the schedulers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import chunk_sequence
+from repro.analysis.theory import (
+    css_steps,
+    fiss_steps,
+    fss_steps,
+    gss_steps,
+    predicted_steps,
+    tfss_steps,
+    tss_executable_steps,
+    tss_planned_steps,
+)
+from repro.core import SchemeError
+
+
+class TestKnownValues:
+    def test_css(self):
+        assert css_steps(1000, 100) == 10
+        assert css_steps(1001, 100) == 11
+        assert css_steps(0, 5) == 0
+
+    def test_gss_paper_case(self):
+        # The paper's Table 1 GSS row has 22 chunks.
+        assert gss_steps(1000, 4) == 22
+
+    def test_tss_paper_case(self):
+        assert tss_planned_steps(1000, 4) == 15
+        # Executable: 12 full chunks + the clipped 28 = 13.
+        assert tss_executable_steps(1000, 4) == 13
+
+    def test_fss_paper_case(self):
+        # Table 1 FSS row: 8 stages x 4 = 32 chunks.
+        assert fss_steps(1000, 4) == 32
+
+    def test_fiss_paper_case(self):
+        assert fiss_steps(1000, 4, stages=3) == 12
+
+    def test_tfss_paper_case(self):
+        # 113x4 + 81x4 + 49x4 + 17 + clipped 11 = 14 chunks.
+        assert tfss_steps(1000, 4) == 14
+
+    def test_validation(self):
+        with pytest.raises(SchemeError):
+            css_steps(10, 0)
+        with pytest.raises(SchemeError):
+            gss_steps(-1, 2)
+        with pytest.raises(SchemeError):
+            predicted_steps("DTSS", 100, 4)
+
+
+@given(
+    st.sampled_from(["SS", "GSS", "TSS", "FSS", "FISS", "TFSS"]),
+    st.integers(min_value=0, max_value=3000),
+    st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=200, deadline=None)
+def test_theory_matches_executable_schedulers(name, total, workers):
+    """The closed forms must equal the real schedulers' chunk counts
+    under the synchronous round-robin drain."""
+    actual = len(chunk_sequence(name, total, workers))
+    predicted = predicted_steps(name, total, workers)
+    assert actual == predicted, (name, total, workers)
+
+
+@given(
+    st.integers(min_value=1, max_value=5000),
+    st.integers(min_value=1, max_value=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_css_closed_form(total, k):
+    actual = len(chunk_sequence("CSS", total, 4, k=k))
+    assert actual == css_steps(total, k)
+
+
+@given(
+    st.integers(min_value=1, max_value=3000),
+    st.integers(min_value=1, max_value=12),
+    st.sampled_from(["half-even", "ceil", "floor"]),
+)
+@settings(max_examples=100, deadline=None)
+def test_fss_closed_form_all_roundings(total, workers, rounding):
+    actual = len(
+        chunk_sequence("FSS", total, workers, rounding=rounding)
+    )
+    assert actual == fss_steps(total, workers, rounding=rounding)

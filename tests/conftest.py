@@ -1,0 +1,71 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import ClusterSpec, ConstantLoad, NodeSpec
+from repro.workloads import (
+    GaussianPeakWorkload,
+    MandelbrotWorkload,
+    ReorderedWorkload,
+    UniformWorkload,
+)
+
+
+@pytest.fixture(scope="session")
+def small_mandelbrot() -> MandelbrotWorkload:
+    """A small Mandelbrot workload shared across tests (cost-cached)."""
+    return MandelbrotWorkload(96, 64, max_iter=32)
+
+
+@pytest.fixture(scope="session")
+def reordered_mandelbrot(small_mandelbrot) -> ReorderedWorkload:
+    return ReorderedWorkload(small_mandelbrot, sf=4)
+
+
+@pytest.fixture()
+def uniform_workload() -> UniformWorkload:
+    return UniformWorkload(200, unit=5.0)
+
+
+@pytest.fixture()
+def peak_workload() -> GaussianPeakWorkload:
+    return GaussianPeakWorkload(300, amplitude=50.0)
+
+
+def make_cluster(
+    n_fast: int = 2,
+    n_slow: int = 2,
+    fast_speed: float = 300.0,
+    overloaded: tuple[int, ...] = (),
+    q: int = 3,
+    **kwargs,
+) -> ClusterSpec:
+    """A small heterogeneous cluster for engine tests."""
+    nodes = []
+    for i in range(n_fast):
+        nodes.append(
+            NodeSpec(
+                name=f"fast{i}",
+                speed=fast_speed,
+                bandwidth=1.25e7,
+                load=ConstantLoad(q if i in overloaded else 1),
+            )
+        )
+    for j in range(n_slow):
+        idx = n_fast + j
+        nodes.append(
+            NodeSpec(
+                name=f"slow{j}",
+                speed=fast_speed / 3.0,
+                bandwidth=1.25e6,
+                load=ConstantLoad(q if idx in overloaded else 1),
+            )
+        )
+    return ClusterSpec(nodes=nodes, **kwargs)
+
+
+@pytest.fixture()
+def hetero_cluster() -> ClusterSpec:
+    return make_cluster()

@@ -1,0 +1,67 @@
+"""Tests for the ACP model (paper Sec. 3.1 and 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CLASSIC_ACP, IMPROVED_ACP, AcpModel, SchemeError
+
+
+class TestClassicModel:
+    def test_integer_division(self):
+        assert CLASSIC_ACP.acp(2.0, 1) == 2
+        assert CLASSIC_ACP.acp(2.0, 2) == 1
+
+    def test_paper_starvation_example(self):
+        # Sec. 5.2-I: V = (1, 3), queues (2, 4) -> both ACPs floor to 0
+        # and "the solving of the problem will have to wait".
+        assert CLASSIC_ACP.acp(1.0, 2) == 0
+        assert CLASSIC_ACP.acp(3.0, 4) == 0
+        assert not CLASSIC_ACP.available(1.0, 2)
+        assert not CLASSIC_ACP.available(3.0, 4)
+
+
+class TestImprovedModel:
+    def test_paper_scaled_example(self):
+        # Same example under the improvement: A_1 = 5, A_2 = 7.
+        assert IMPROVED_ACP.acp(1.0, 2) == 5
+        assert IMPROVED_ACP.acp(3.0, 4) == 7
+
+    def test_decimal_virtual_power(self):
+        # Sec. 5.2-II: V = 3.4, Q = 4 -> A = floor(0.85 * 10) = 8
+        # (integer V would under-estimate at 7).
+        assert IMPROVED_ACP.acp(3.4, 4) == 8
+        assert IMPROVED_ACP.acp(3.0, 4) == 7
+
+    def test_availability_threshold(self):
+        # Sec. 5.2-I example: A_min = 6 admits only the faster PE.
+        model = AcpModel(scale=10, a_min=6)
+        assert not model.available(1.0, 2)  # A = 5 < 6
+        assert model.available(3.0, 4)  # A = 7 >= 6
+
+    def test_a_min_zero_still_requires_positive_acp(self):
+        model = AcpModel(scale=1, a_min=0)
+        assert not model.available(1.0, 2)  # A = 0 can do no work
+
+    def test_scale_100(self):
+        model = AcpModel(scale=100)
+        assert model.acp(1.0, 3) == 33
+
+
+class TestValidation:
+    def test_bad_scale(self):
+        with pytest.raises(SchemeError):
+            AcpModel(scale=0)
+
+    def test_bad_a_min(self):
+        with pytest.raises(SchemeError):
+            AcpModel(a_min=-1)
+
+    def test_bad_inputs(self):
+        with pytest.raises(SchemeError):
+            IMPROVED_ACP.acp(0.0, 1)
+        with pytest.raises(SchemeError):
+            IMPROVED_ACP.acp(1.0, 0)
+
+    def test_dedicated_fast_pe(self):
+        assert IMPROVED_ACP.acp(3.0, 1) == 30

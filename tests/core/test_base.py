@@ -1,0 +1,107 @@
+"""Tests for the Scheduler base protocol (repro.core.base)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ChunkAssignment,
+    SchemeError,
+    WorkerView,
+    drain,
+    make,
+)
+from repro.core.chunk import ChunkScheduler
+
+
+class TestWorkerView:
+    def test_defaults(self):
+        view = WorkerView(0)
+        assert view.virtual_power == 1.0
+        assert view.run_queue == 1
+        assert view.acp is None
+
+    def test_negative_worker_id_rejected(self):
+        with pytest.raises(SchemeError):
+            WorkerView(-1)
+
+    def test_nonpositive_power_rejected(self):
+        with pytest.raises(SchemeError):
+            WorkerView(0, virtual_power=0.0)
+
+    def test_zero_run_queue_rejected(self):
+        with pytest.raises(SchemeError):
+            WorkerView(0, run_queue=0)
+
+    def test_decimal_virtual_power_allowed(self):
+        # Paper Sec. 5.2-II: decimal virtual powers are a feature.
+        assert WorkerView(0, virtual_power=3.4).virtual_power == 3.4
+
+
+class TestChunkAssignment:
+    def test_size_and_indices(self):
+        chunk = ChunkAssignment(start=5, stop=9, worker_id=1, step=1)
+        assert chunk.size == 4
+        assert list(chunk.indices()) == [5, 6, 7, 8]
+
+    def test_empty_chunk_rejected(self):
+        with pytest.raises(SchemeError):
+            ChunkAssignment(start=5, stop=5, worker_id=0, step=1)
+
+    def test_negative_chunk_rejected(self):
+        with pytest.raises(SchemeError):
+            ChunkAssignment(start=5, stop=3, worker_id=0, step=1)
+
+
+class TestSchedulerProtocol:
+    def test_invalid_construction(self):
+        with pytest.raises(SchemeError):
+            ChunkScheduler(-1, 4)
+        with pytest.raises(SchemeError):
+            ChunkScheduler(10, 0)
+
+    def test_zero_iterations_immediately_finished(self):
+        sched = ChunkScheduler(0, 4)
+        assert sched.finished
+        assert sched.next_chunk(WorkerView(0)) is None
+
+    def test_conservation(self):
+        sched = ChunkScheduler(103, 4, k=10)
+        chunks = list(drain(sched))
+        assert sum(c.size for c in chunks) == 103
+        assert sched.finished
+        assert sched.remaining == 0
+
+    def test_last_chunk_clipped(self):
+        sched = ChunkScheduler(25, 4, k=10)
+        sizes = [c.size for c in drain(sched)]
+        assert sizes == [10, 10, 5]
+
+    def test_steps_monotonic(self):
+        sched = ChunkScheduler(10, 2, k=3)
+        steps = [c.step for c in drain(sched)]
+        assert steps == [1, 2, 3, 4]
+
+    def test_intervals_are_contiguous_partition(self):
+        sched = make("GSS", 500, 4)
+        cursor = 0
+        for chunk in drain(sched):
+            assert chunk.start == cursor
+            cursor = chunk.stop
+        assert cursor == 500
+
+    def test_exhausted_scheduler_returns_none_forever(self):
+        sched = ChunkScheduler(5, 2, k=5)
+        assert sched.next_chunk(WorkerView(0)) is not None
+        assert sched.next_chunk(WorkerView(1)) is None
+        assert sched.next_chunk(WorkerView(1)) is None
+
+    def test_drain_rejects_empty_cycle(self):
+        sched = ChunkScheduler(5, 2)
+        with pytest.raises(SchemeError):
+            list(drain(sched, []))
+
+    def test_drain_round_robin_assignment(self):
+        sched = ChunkScheduler(6, 3, k=1)
+        workers = [c.worker_id for c in drain(sched)]
+        assert workers == [0, 1, 2, 0, 1, 2]

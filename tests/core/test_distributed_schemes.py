@@ -1,0 +1,205 @@
+"""Tests for the distributed schemes (paper Sec. 3.1 and 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    IMPROVED_ACP,
+    AcpModel,
+    SchemeError,
+    WorkerView,
+    drain,
+    make,
+)
+
+#: A 2-fast + 2-slow worker set under the improved ACP model
+#: (V = 3 -> A = 30; V = 1 -> A = 10).
+HETERO = [
+    WorkerView(0, virtual_power=3.0, acp=30),
+    WorkerView(1, virtual_power=3.0, acp=30),
+    WorkerView(2, virtual_power=1.0, acp=10),
+    WorkerView(3, virtual_power=1.0, acp=10),
+]
+
+
+def hetero_sizes(name, total=1000, **kw):
+    sched = make(name, total, 4, **kw)
+    for view in HETERO:
+        sched.observe_acp(view.worker_id, view.acp)
+    out: dict[int, list[int]] = {v.worker_id: [] for v in HETERO}
+    i = 0
+    while True:
+        view = HETERO[i % 4]
+        chunk = sched.next_chunk(view)
+        if chunk is None:
+            break
+        out[view.worker_id].append(chunk.size)
+        i += 1
+    return out
+
+
+@pytest.mark.parametrize("name", ["DTSS", "DFSS", "DFISS", "DTFSS"])
+class TestCommonDistributedBehaviour:
+    def test_conservation(self, name):
+        per = hetero_sizes(name)
+        assert sum(sum(v) for v in per.values()) == 1000
+
+    def test_fast_workers_get_larger_chunks(self, name):
+        per = hetero_sizes(name)
+        # First-chunk comparison: a PE with 3x the power gets ~3x the
+        # chunk (exact modulo rounding).
+        fast_first, slow_first = per[0][0], per[2][0]
+        assert fast_first > 2 * slow_first
+
+    def test_flag(self, name):
+        assert make(name, 100, 4).distributed is True
+
+    def test_uniform_workers_first_round(self, name):
+        sched = make(name, 1000, 4)
+        first = [
+            sched.next_chunk(WorkerView(i)).size for i in range(4)
+        ]
+        if name == "DTSS":
+            # DTSS is not staged: consecutive requests walk down the
+            # trapezoid even within the first round.
+            assert all(a > b for a, b in zip(first, first[1:]))
+        else:
+            # Staged schemes give every equal-power PE the same
+            # stage-1 chunk (modulo rounding).
+            assert max(first) - min(first) <= 1
+
+
+class TestDTSS:
+    def test_chunk_formula_first_requests(self):
+        # I=1000, A=80 (4 x A_i=20): F=floor(1000/160)=6, N=285,
+        # D=5/284.  First request from a=20:
+        # C = 20 * (6 - D*(0 + 9.5)).
+        views = [WorkerView(i, virtual_power=2.0, acp=20)
+                 for i in range(4)]
+        sched = make("DTSS", 1000, 4)
+        for v in views:
+            sched.observe_acp(v.worker_id, v.acp)
+        first = sched.next_chunk(views[0]).size
+        d = 5 / 284
+        assert first == int(20 * (6 - d * 9.5))
+
+    def test_chunks_decrease_with_served_acp(self):
+        per = hetero_sizes("DTSS")
+        fast = per[0]
+        assert all(a >= b for a, b in zip(fast, fast[1:]))
+
+    def test_rederivation_on_load_change(self):
+        sched = make("DTSS", 10_000, 4)
+        for v in HETERO:
+            sched.observe_acp(v.worker_id, v.acp)
+        sched.next_chunk(HETERO[0])
+        assert sched.rederivations == 0
+        # More than half the ACPs change -> re-derive over remaining.
+        for wid in (0, 1, 2):
+            sched.observe_acp(wid, 5)
+        sched.next_chunk(WorkerView(3, acp=10))
+        assert sched.rederivations == 1
+
+    def test_no_rederivation_for_minority_change(self):
+        sched = make("DTSS", 10_000, 4)
+        for v in HETERO:
+            sched.observe_acp(v.worker_id, v.acp)
+        sched.next_chunk(HETERO[0])
+        sched.observe_acp(0, 5)  # one of four changed
+        sched.next_chunk(HETERO[1])
+        assert sched.rederivations == 0
+
+    def test_custom_acp_model(self):
+        model = AcpModel(scale=100)
+        sched = make("DTSS", 1000, 2, acp_model=model)
+        assert sched.acp_model is model
+
+
+class TestDFSS:
+    def test_stage_totals_halve(self):
+        sched = make("DFSS", 1000, 4)
+        for v in HETERO:
+            sched.observe_acp(v.worker_id, v.acp)
+        sched.next_chunk(HETERO[0])
+        totals = sched._stage_totals
+        assert totals[0] == 500
+        assert totals[1] == 250
+        assert sum(totals) == 1000
+
+    def test_share_split(self):
+        per = hetero_sizes("DFSS")
+        # Stage 1 = 500; fast share = 500*30/80 = 187.5 -> 188/187.
+        assert per[0][0] in (187, 188)
+        assert per[2][0] in (62, 63)
+
+
+class TestDFISS:
+    def test_stage_totals(self):
+        sched = make("DFISS", 1000, 4)
+        for v in HETERO:
+            sched.observe_acp(v.worker_id, v.acp)
+        sched.next_chunk(HETERO[0])
+        totals = sched._stage_totals
+        # SC_0 = 1000/5 = 200; B = ceil(800/6) = 134; final = exact.
+        assert totals[0] == 200
+        assert totals[1] == 334
+        assert totals[2] == 1000 - 200 - 334
+
+    def test_alternate_sigma(self):
+        per = hetero_sizes("DFISS", stages=4)
+        assert sum(sum(v) for v in per.values()) == 1000
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SchemeError):
+            make("DFISS", 1000, 4, stages=1)
+        with pytest.raises(SchemeError):
+            make("DFISS", 1000, 4, stages=3, x=2)
+
+
+class TestDTFSS:
+    def test_stage_totals_decrease(self):
+        sched = make("DTFSS", 1000, 4)
+        for v in HETERO:
+            sched.observe_acp(v.worker_id, v.acp)
+        sched.next_chunk(HETERO[0])
+        totals = sched._stage_totals
+        assert all(a >= b for a, b in zip(totals, totals[1:]))
+        assert sum(totals) == 1000
+
+    def test_first_stage_matches_dtss_block(self):
+        # DTFSS stage 1 total == what DTSS would hand one PE of power A.
+        sched = make("DTFSS", 1000, 4)
+        for v in HETERO:
+            sched.observe_acp(v.worker_id, v.acp)
+        sched.next_chunk(HETERO[0])
+        a = 80
+        f = sched.params.first
+        d = sched.params.decrement
+        import math
+
+        assert sched._stage_totals[0] == math.floor(
+            a * (f - d * (a - 1) / 2.0)
+        )
+
+
+class TestAcpPlumbing:
+    def test_observe_acp_validation(self):
+        sched = make("DTSS", 100, 2)
+        with pytest.raises(SchemeError):
+            sched.observe_acp(0, -1)
+
+    def test_view_acp_overrides_stored(self):
+        sched = make("DTSS", 1000, 2)
+        sched.observe_acp(0, 10)
+        sched.observe_acp(1, 10)
+        chunk = sched.next_chunk(WorkerView(0, acp=40))
+        # The fresh report (40 of 50 total... re-registered) is used.
+        assert chunk is not None
+        assert sched._acps[0] == 40
+
+    def test_unregistered_workers_default(self):
+        # Analytical use without an engine still works (V=Q=1 default).
+        sched = make("DTSS", 100, 4)
+        chunks = list(drain(sched))
+        assert sum(c.size for c in chunks) == 100

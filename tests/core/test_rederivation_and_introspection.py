@@ -1,0 +1,100 @@
+"""Focused tests: staged re-derivation resets and scheme introspection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import WorkerView, make
+
+
+class TestStagedRederivation:
+    """The "more than half the ACPs changed" rule for staged schemes
+    must replan stages over the *remaining* iterations and reset every
+    worker's ladder (paper Sec. 3.1 step 2c / Sec. 6)."""
+
+    def _prime(self, name, total=10_000, workers=4, acp=10):
+        sched = make(name, total, workers)
+        for wid in range(workers):
+            sched.observe_acp(wid, acp)
+        return sched
+
+    @pytest.mark.parametrize("name", ["DFSS", "DFISS", "DTFSS"])
+    def test_rederivation_resets_ladders(self, name):
+        sched = self._prime(name)
+        # Worker 0 walks two stages.
+        first = sched.next_chunk(WorkerView(0, acp=10)).size
+        sched.next_chunk(WorkerView(0, acp=10))
+        # Majority ACP change -> replan over remaining.
+        for wid in (0, 1, 2):
+            sched.observe_acp(wid, 20)
+        chunk = sched.next_chunk(WorkerView(3, acp=10))
+        assert sched.rederivations == 1
+        # Worker 3's ladder restarted at stage 1 of the new plan.
+        assert sched._worker_stage[3] == 1
+        assert chunk is not None
+        # And the plan now covers only what remains.
+        assert sum(sched._stage_totals) <= sched.remaining + chunk.size
+
+    @pytest.mark.parametrize("name", ["DFSS", "DFISS", "DTFSS"])
+    def test_rederivation_rescales_chunks_to_new_power(self, name):
+        sched = self._prime(name)
+        before = sched.next_chunk(WorkerView(0, acp=10)).size
+        # Everyone's power collapses to 1/10th except worker 0's.
+        for wid in (1, 2, 3):
+            sched.observe_acp(wid, 1)
+        after = sched.next_chunk(WorkerView(0, acp=10))
+        assert sched.rederivations == 1
+        # Worker 0 now holds 10/13 of the cluster power: its stage-1
+        # chunk share grows accordingly.
+        assert after.size > before * 1.5
+
+    def test_conservation_across_many_rederivations(self):
+        sched = self._prime("DFISS", total=5000)
+        import random
+
+        rng = random.Random(7)
+        assigned = 0
+        while not sched.finished:
+            wid = rng.randrange(4)
+            if rng.random() < 0.5:
+                for w in range(3):
+                    sched.observe_acp(w, rng.randint(1, 30))
+            chunk = sched.next_chunk(
+                WorkerView(wid, acp=rng.randint(1, 30))
+            )
+            if chunk is None:
+                break
+            assigned += chunk.size
+        assert assigned == 5000
+        assert sched.rederivations >= 1
+
+
+class TestDescribe:
+    def test_simple_scheme(self):
+        info = make("FSS", 1000, 4).describe()
+        assert info["name"] == "FSS"
+        assert info["class"] == "FactoringScheduler"
+        assert info["distributed"] is False
+        assert info["params"]["alpha"] == 2.0
+        assert info["params"]["rounding"] == "half-even"
+
+    def test_distributed_scheme(self):
+        info = make("DFISS", 1000, 4).describe()
+        assert info["distributed"] is True
+        assert info["params"]["stages"] == 3
+
+    def test_inline_parameter_reflected(self):
+        info = make("CSS(32)", 1000, 4).describe()
+        assert info["params"]["k"] == 32
+
+    def test_private_state_excluded(self):
+        info = make("GSS", 1000, 4).describe()
+        assert not any(k.startswith("_") for k in info["params"])
+
+    def test_schemes_cli(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "DistributedTrapezoidScheduler" in out
+        assert "half-even" in out

@@ -1,0 +1,250 @@
+"""Exact-value tests for the simple schemes (paper Sec. 2 + Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    SchemeError,
+    WorkerView,
+    drain,
+    make,
+    nominal_tss_chunks,
+    tfss_stage_chunks,
+)
+from repro.core.trapezoid import TrapezoidParams
+
+
+def sizes(name, total=1000, workers=4, **kw):
+    return [c.size for c in drain(make(name, total, workers, **kw))]
+
+
+class TestStatic:
+    def test_paper_row(self):
+        assert sizes("S") == [250, 250, 250, 250]
+
+    def test_uneven_division(self):
+        assert sizes("S", total=10, workers=4) == [3, 3, 2, 2]
+
+    def test_weighted_blocks(self):
+        got = sizes("S", weights=[0.5, 0.5, 1.0, 2.0])
+        assert got == [125, 125, 250, 500]
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(SchemeError):
+            make("S", 100, 4, weights=[1.0, 2.0])
+
+    def test_fewer_iterations_than_workers(self):
+        got = sizes("S", total=2, workers=4)
+        assert sum(got) == 2
+
+
+class TestPureAndChunk:
+    def test_pure_is_all_ones(self):
+        assert sizes("SS", total=7) == [1] * 7
+
+    def test_css_constant(self):
+        assert sizes("CSS", k=40) == [40] * 25
+
+    def test_css_inline_parameter(self):
+        assert sizes("CSS(100)") == [100] * 10
+
+    def test_css_invalid_k(self):
+        with pytest.raises(SchemeError):
+            make("CSS", 100, 4, k=0)
+
+    def test_names(self):
+        assert make("SS", 10, 2).name == "SS"
+        assert make("CSS(7)", 10, 2).name == "CSS(7)"
+
+
+class TestGuided:
+    PAPER = [250, 188, 141, 106, 79, 59, 45, 33, 25, 19, 14, 11,
+             8, 6, 4, 3, 3, 2, 1, 1, 1, 1]
+
+    def test_paper_row(self):
+        assert sizes("GSS") == self.PAPER
+
+    def test_gss_k_bounds_minimum(self):
+        got = sizes("GSS", min_chunk=10)
+        assert min(got[:-1]) >= 10  # the clipped tail may be smaller
+        assert sum(got) == 1000
+
+    def test_gss_decreasing(self):
+        got = sizes("GSS")
+        assert all(a >= b for a, b in zip(got, got[1:]))
+
+    def test_single_worker_takes_everything(self):
+        assert sizes("GSS", workers=1) == [1000]
+
+
+class TestTrapezoid:
+    PAPER_NOMINAL = [125, 117, 109, 101, 93, 85, 77, 69, 61, 53,
+                     45, 37, 29, 21, 13, 5]
+
+    def test_paper_nominal_row(self):
+        assert nominal_tss_chunks(1000, 4) == self.PAPER_NOMINAL
+
+    def test_nominal_row_overshoots_total(self):
+        # The paper's printed row sums to 1040 > 1000; this quirk is
+        # part of the record (see EXPERIMENTS.md).
+        assert sum(self.PAPER_NOMINAL) == 1040
+
+    def test_executable_sequence_conserves(self):
+        got = sizes("TSS")
+        assert sum(got) == 1000
+        assert got == self.PAPER_NOMINAL[:12] + [28]
+
+    def test_derived_parameters(self):
+        params = TrapezoidParams.derive(1000, 4)
+        assert (params.first, params.last) == (125, 1)
+        assert params.steps == 15
+        assert params.decrement == 8.0
+
+    def test_user_supplied_first_last(self):
+        got = sizes("TSS", first=100, last=20)
+        assert got[0] == 100
+        assert sum(got) == 1000
+
+    def test_tiny_loop_degenerates(self):
+        got = sizes("TSS", total=3, workers=4)
+        assert sum(got) == 3
+
+    def test_fractional_decrement_mode(self):
+        params = TrapezoidParams.derive(
+            1000, 12, integer_decrement=False
+        )
+        # I=1000, A=12: F=41, N=47, D=40/46 -- would floor to 0.
+        assert 0 < params.decrement < 1
+
+    def test_invalid_last(self):
+        with pytest.raises(SchemeError):
+            TrapezoidParams.derive(100, 4, last=0)
+
+
+class TestFactoring:
+    PAPER = ([125] * 4 + [62] * 4 + [32] * 4 + [16] * 4 + [8] * 4
+             + [4] * 4 + [2] * 4 + [1] * 4)
+
+    def test_paper_row_half_even(self):
+        assert sizes("FSS") == self.PAPER
+
+    def test_ceil_rounding_differs(self):
+        got = sizes("FSS", rounding="ceil")
+        assert got[4] == 63  # ceil(500/8), vs the paper's 62
+        assert sum(got) == 1000
+
+    def test_floor_rounding(self):
+        got = sizes("FSS", rounding="floor")
+        assert sum(got) == 1000
+
+    def test_unknown_rounding_rejected(self):
+        with pytest.raises(SchemeError):
+            make("FSS", 100, 4, rounding="nearest")
+
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(SchemeError):
+            make("FSS", 100, 4, alpha=1.0)
+
+    def test_alpha_3_shrinks_faster(self):
+        got = sizes("FSS", alpha=3.0)
+        assert got[0] == round(1000 / 12)
+        assert sum(got) == 1000
+
+    def test_stage_attribution(self):
+        chunks = list(drain(make("FSS", 1000, 4)))
+        assert [c.stage for c in chunks[:8]] == [1] * 4 + [2] * 4
+
+
+class TestFixedIncrease:
+    def test_paper_row(self):
+        assert sizes("FISS") == [50] * 4 + [83] * 4 + [117] * 4
+
+    def test_increasing_until_final(self):
+        got = sizes("FISS", total=5000, workers=4)
+        assert got[0] < got[4] < got[8]
+        assert sum(got) == 5000
+
+    def test_sigma_4(self):
+        got = sizes("FISS", stages=4)
+        assert sum(got) == 1000
+
+    def test_invalid_sigma(self):
+        with pytest.raises(SchemeError):
+            make("FISS", 1000, 4, stages=1)
+
+    def test_x_must_exceed_sigma(self):
+        with pytest.raises(SchemeError):
+            make("FISS", 1000, 4, stages=3, x=3)
+
+    def test_inline_parameter_sets_stages(self):
+        sched = make("FISS(5)", 1000, 4)
+        assert sched.stages == 5
+
+
+class TestTFSS:
+    def test_paper_stage_chunks(self):
+        assert tfss_stage_chunks(1000, 4) == [113, 81, 49, 17]
+
+    def test_paper_example_grouping(self):
+        # 113 = (125+117+109+101)/4 etc. -- Example 2 of the paper.
+        tss = nominal_tss_chunks(1000, 4)
+        expected = [sum(tss[i:i + 4]) // 4 for i in range(0, 16, 4)]
+        assert tfss_stage_chunks(1000, 4) == expected
+
+    def test_executable_conserves_and_clips(self):
+        got = sizes("TFSS")
+        assert sum(got) == 1000
+        # Nominal plan over-covers; the final chunk is clipped.
+        assert got[:13] == [113] * 4 + [81] * 4 + [49] * 4 + [17]
+
+    def test_decreasing_stages(self):
+        stages = tfss_stage_chunks(4000, 8)
+        assert all(a >= b for a, b in zip(stages, stages[1:]))
+
+
+class TestWeightedFactoring:
+    def test_equal_weights_match_fss_totals(self):
+        got = sizes("WF")
+        assert sum(got) == 1000
+        assert got[0] == 125
+
+    def test_weighted_shares(self):
+        got = sizes("WF", weights=[1.0, 1.0, 1.0, 3.0])
+        # Worker 3 gets a triple share of the 500-iteration stage.
+        assert got[3] == 250
+        assert got[0] == got[1] == got[2] == 83
+        assert sum(got) == 1000
+
+    def test_bad_weights(self):
+        with pytest.raises(SchemeError):
+            make("WF", 100, 4, weights=[1.0, -1.0, 1.0, 1.0])
+        with pytest.raises(SchemeError):
+            make("WF", 100, 4, weights=[1.0])
+
+
+class TestLadderSemantics:
+    """Per-worker stage progression under uneven request interleaving."""
+
+    def test_fast_worker_walks_its_own_ladder(self):
+        sched = make("FSS", 1000, 4)
+        fast = WorkerView(0)
+        # Worker 0 requests three times before anyone else.
+        got = [sched.next_chunk(fast).size for _ in range(3)]
+        assert got == [125, 62, 32]
+
+    def test_slow_worker_still_gets_stage1(self):
+        sched = make("FSS", 1000, 4)
+        for _ in range(3):
+            sched.next_chunk(WorkerView(0))
+        # Worker 1's first request is still its own stage 1.
+        assert sched.next_chunk(WorkerView(1)).size == 125
+
+    def test_fiss_overflow_requests_get_small_tail(self):
+        sched = make("FISS", 1000, 4)
+        w = WorkerView(0)
+        ladder = [sched.next_chunk(w).size for _ in range(3)]
+        assert ladder == [50, 83, 117]
+        # Beyond the plan: never the big final rung again.
+        tail = sched.next_chunk(w)
+        assert tail.size < 117

@@ -1,0 +1,46 @@
+"""Simulator-vs-runtime parity tests (the substitution argument)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.parity import compare_substrates
+from repro.workloads import MandelbrotWorkload, UniformWorkload
+
+
+@pytest.fixture(scope="module")
+def parity_workload():
+    return MandelbrotWorkload(80, 50, max_iter=24)
+
+
+@pytest.mark.parametrize(
+    "scheme", ["CSS(8)", "GSS", "TSS", "FSS", "FISS", "TFSS", "DTSS"]
+)
+def test_substrates_agree(scheme, parity_workload):
+    report = compare_substrates(scheme, parity_workload, n_workers=3)
+    assert report.results_match, scheme
+    assert report.sim_coverage_ok and report.run_coverage_ok
+    assert report.ok, report
+
+
+def test_first_chunk_identical_for_css(parity_workload):
+    # CSS's chunk sizes are order-independent: the full multiset of
+    # sizes must match across substrates, not just the counts.
+    report = compare_substrates("CSS(7)", parity_workload, n_workers=3)
+    assert report.sim_chunks == report.run_chunks
+    assert report.sim_largest == report.run_largest == 7
+
+
+def test_uniform_workload_parity():
+    report = compare_substrates("TSS", UniformWorkload(120),
+                                n_workers=4)
+    assert report.ok
+
+
+def test_runtime_wait_accounting_present(parity_workload):
+    from repro.runtime import run_parallel
+
+    run = run_parallel("GSS", parity_workload, 3)
+    waits = [s.wait_seconds for s in run.stats.values()]
+    assert all(w >= 0.0 for w in waits)
+    assert any(w > 0.0 for w in waits)

@@ -1,0 +1,42 @@
+"""Tests for the remaining CLI commands (gantt, windows, figures)."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import main
+
+
+class TestGanttCommand:
+    def test_renders_both_schemes(self, capsys):
+        assert main(["gantt", "--width", "300", "--height",
+                     "150"]) == 0
+        out = capsys.readouterr().out
+        assert "TSS:" in out and "DTSS:" in out
+        assert "#" in out
+        # One row per PE for each of the two charts.
+        assert out.count("fast1") == 2
+        assert out.count("slow5") == 2
+
+
+class TestWindowsCommand:
+    def test_renders_matrix(self, capsys):
+        assert main(["windows"]) == 0
+        out = capsys.readouterr().out
+        assert "I=" in out
+        assert "TSS" in out and "DTSS" in out
+
+
+class TestFiguresCommand:
+    def test_includes_ascii_charts(self, capsys):
+        assert main(["figures", "--width", "300", "--height",
+                     "150"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Figure 7" in out
+        # The line charts carry the series legend.
+        assert "o=TSS" in out or "o=DTSS" in out
+
+
+class TestFig2Command:
+    def test_ascii_fractal(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "@" in out  # set interior glyph

@@ -1,0 +1,92 @@
+"""Tests for the window sweep, the sign test, and the MPI shim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import windows
+from repro.experiments.replicate import sign_test
+from repro.runtime import have_mpi
+from repro.runtime.mpi import run_mpi
+
+
+class TestWindowSweep:
+    def test_sweep_grid(self):
+        points = windows.window_sweep(
+            widths=(200, 400), schemes=("TSS", "DTSS"), height=100
+        )
+        assert len(points) == 4
+        assert {p.scheme for p in points} == {"TSS", "DTSS"}
+        assert {p.width for p in points} == {200, 400}
+        assert all(p.t_p > 0 and p.chunks > 0 for p in points)
+
+    def test_calibration_keeps_tp_in_band(self):
+        # T_p is calibrated per workload; across widths it must stay in
+        # a narrow band (not scale with I).
+        points = windows.window_sweep(
+            widths=(400, 1600), schemes=("DTSS",), height=200
+        )
+        t_ps = [p.t_p for p in points]
+        assert max(t_ps) < 2.5 * min(t_ps)
+
+    def test_report_renders(self):
+        text = windows.report(widths=(200, 400), schemes=("TSS",),
+                              height=100)
+        assert "I=200" in text and "I=400" in text
+
+
+class TestSignTest:
+    def test_all_wins_is_significant(self):
+        a = [1.0] * 10
+        b = [2.0] * 10
+        assert sign_test(a, b) < 0.01
+
+    def test_even_split_not_significant(self):
+        a = [1.0, 2.0] * 5
+        b = [2.0, 1.0] * 5
+        assert sign_test(a, b) == pytest.approx(1.0, abs=0.3)
+
+    def test_ties_dropped(self):
+        assert sign_test([1.0, 1.0], [1.0, 1.0]) == 1.0
+
+    def test_symmetry(self):
+        a = [1.0, 1.0, 1.0, 5.0]
+        b = [2.0, 2.0, 2.0, 1.0]
+        assert sign_test(a, b) == pytest.approx(sign_test(b, a))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sign_test([1.0], [1.0, 2.0])
+
+    def test_p_value_range(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(20):
+            n = rng.randint(1, 12)
+            a = [rng.random() for _ in range(n)]
+            b = [rng.random() for _ in range(n)]
+            p = sign_test(a, b)
+            assert 0.0 <= p <= 1.0
+
+
+class TestMpiShim:
+    def test_have_mpi_is_false_offline(self):
+        # The offline environment has no mpi4py; the probe must say so
+        # rather than raise.
+        assert have_mpi() in (True, False)
+
+    @pytest.mark.skipif(have_mpi(), reason="mpi4py available: the "
+                        "graceful-error path does not apply")
+    def test_run_mpi_raises_cleanly_without_mpi(self):
+        from repro.workloads import UniformWorkload
+
+        with pytest.raises(RuntimeError, match="mpi4py"):
+            run_mpi("TSS", UniformWorkload(10))
+
+    @pytest.mark.skipif(not have_mpi(), reason="mpi4py not installed")
+    def test_single_rank_rejected(self):  # pragma: no cover - MPI only
+        from repro.workloads import UniformWorkload
+
+        with pytest.raises(RuntimeError):
+            run_mpi("TSS", UniformWorkload(10))

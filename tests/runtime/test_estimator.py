@@ -1,0 +1,48 @@
+"""Tests for the virtual-power estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    WorkerSpec,
+    estimate_virtual_powers,
+    probe_seconds_per_iteration,
+)
+
+
+class TestProbe:
+    def test_returns_per_worker_times(self):
+        times = probe_seconds_per_iteration(2, probe_iterations=4,
+                                            probe_spins=10)
+        assert set(times) <= {0, 1}
+        assert all(t > 0 for t in times.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            probe_seconds_per_iteration(0)
+        with pytest.raises(ValueError):
+            probe_seconds_per_iteration(2, probe_iterations=0)
+
+
+class TestEstimate:
+    def test_slowest_is_one(self):
+        powers = estimate_virtual_powers(2, probe_iterations=4,
+                                         probe_spins=10, repeats=2)
+        assert len(powers) == 2
+        assert min(powers) == pytest.approx(1.0)
+
+    def test_recovers_emulated_slowdown(self):
+        # Worker 0 is slowed 4x; its estimated power should be clearly
+        # below its peer's (exact recovery depends on scheduler noise,
+        # so assert the ordering and a coarse magnitude).
+        specs = [WorkerSpec(slowdown=4.0), WorkerSpec()]
+        powers = estimate_virtual_powers(
+            2, specs=specs, probe_iterations=6, probe_spins=40,
+            repeats=3,
+        )
+        assert powers[1] > 1.5 * powers[0]
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError):
+            estimate_virtual_powers(2, repeats=0)

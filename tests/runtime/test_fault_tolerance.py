@@ -1,0 +1,181 @@
+"""Failure-injection tests: the master must survive worker loss.
+
+These tests drive :func:`repro.runtime.master.master_loop` directly
+with fake in-process "connections", so worker death is deterministic
+(no real process juggling, no timing flake).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import make
+from repro.runtime.master import master_loop
+from repro.runtime.messages import Assign, Request, Terminate, WorkerStats
+from repro.workloads import UniformWorkload
+
+
+class ScriptedWorker(object):
+    """A fake pipe end that computes chunks in-process.
+
+    ``die_after`` kills the "worker" after that many completed chunks:
+    the next master read raises EOFError, as a real closed pipe would.
+    """
+
+    def __init__(self, wid: int, workload, die_after: int | None = None):
+        self.wid = wid
+        self.workload = workload
+        self.die_after = die_after
+        self.completed = 0
+        self.dead = False
+        self.terminated = False
+        self._outbox = [Request(worker_id=wid, stats=WorkerStats())]
+        self._pending = None
+
+    # master-side interface ------------------------------------------------
+    def recv(self):
+        if self.dead:
+            raise EOFError
+        if not self._outbox:
+            raise AssertionError("master read with nothing to say")
+        return self._outbox.pop(0)
+
+    def send(self, msg):
+        if self.dead:
+            raise BrokenPipeError
+        if isinstance(msg, Terminate):
+            self.terminated = True
+            return
+        assert isinstance(msg, Assign)
+        if self.die_after is not None \
+                and self.completed >= self.die_after:
+            self.dead = True
+            return
+        payload = self.workload.execute(msg.start, msg.stop)
+        self.completed += 1
+        self._outbox.append(
+            Request(
+                worker_id=self.wid,
+                result=(msg.start, payload),
+                stats=WorkerStats(chunks=self.completed),
+            )
+        )
+
+    def fileno(self) -> int:  # pragma: no cover - not used by fake wait
+        return -1
+
+
+def run_master(workload, workers, scheme="CSS(10)", **scheme_kwargs):
+    scheduler = make(scheme, workload.size, len(workers),
+                     **scheme_kwargs)
+    conns = {w.wid: w for w in workers}
+
+    # Monkeypatch-free fake of multiprocessing.connection.wait: ready =
+    # live workers with queued messages.
+    import repro.runtime.master as master_mod
+
+    original_wait = master_mod.wait
+
+    def fake_wait(conn_list, timeout=None):
+        ready = [c for c in conn_list if not c.dead and c._outbox]
+        dead = [c for c in conn_list if c.dead]
+        return ready + dead
+
+    master_mod.wait = fake_wait
+    try:
+        return master_loop(scheduler, conns)
+    finally:
+        master_mod.wait = original_wait
+
+
+class TestWorkerDeath:
+    def test_lost_chunk_is_reassigned(self):
+        wl = UniformWorkload(100)
+        workers = [
+            ScriptedWorker(0, wl, die_after=2),
+            ScriptedWorker(1, wl),
+        ]
+        result = run_master(wl, workers)
+        assert result.requeued >= 1
+        # Every iteration was computed exactly once.
+        spans = sorted((s, e) for _w, s, e in result.chunks)
+        cursor = 0
+        for start, stop in spans:
+            assert start == cursor
+            cursor = stop
+        assert cursor == 100
+        # And the collected results cover the loop.
+        got = np.concatenate(
+            [r for _s, r in sorted(result.results, key=lambda x: x[0])]
+        )
+        np.testing.assert_array_equal(got, wl.costs())
+
+    def test_immediate_death(self):
+        wl = UniformWorkload(50)
+        workers = [
+            ScriptedWorker(0, wl, die_after=0),
+            ScriptedWorker(1, wl),
+        ]
+        result = run_master(wl, workers)
+        assert result.assigned_iterations() == 50
+
+    def test_all_but_one_die(self):
+        wl = UniformWorkload(80)
+        workers = [
+            ScriptedWorker(0, wl, die_after=1),
+            ScriptedWorker(1, wl, die_after=1),
+            ScriptedWorker(2, wl),
+        ]
+        result = run_master(wl, workers)
+        assert result.assigned_iterations() == 80
+        assert workers[2].terminated
+
+    def test_no_deaths_no_requeue(self):
+        wl = UniformWorkload(60)
+        workers = [ScriptedWorker(0, wl), ScriptedWorker(1, wl)]
+        result = run_master(wl, workers)
+        assert result.requeued == 0
+        assert all(w.terminated for w in workers)
+
+    def test_death_with_distributed_scheme(self):
+        wl = UniformWorkload(200)
+        workers = [
+            ScriptedWorker(0, wl, die_after=1),
+            ScriptedWorker(1, wl),
+            ScriptedWorker(2, wl),
+        ]
+        result = run_master(wl, workers, scheme="DFSS")
+        assert result.assigned_iterations() == 200
+
+
+class TestRealProcessDeath:
+    def test_sigkilled_worker_does_not_hang_run(self):
+        """End-to-end: a real worker process is killed mid-run."""
+        import multiprocessing as mp
+        import os
+        import signal
+
+        from repro.core import make as make_scheme
+        from repro.runtime.master import master_loop as real_master
+        from repro.runtime.worker import worker_main
+
+        wl = UniformWorkload(40)
+        ctx = mp.get_context("fork")
+        pipes, procs = {}, []
+        for wid in range(3):
+            parent, child = ctx.Pipe()
+            pipes[wid] = parent
+            proc = ctx.Process(
+                target=worker_main, args=(child, wl, wid), daemon=True
+            )
+            proc.start()
+            procs.append(proc)
+        # Kill worker 0 outright; the master must reassign its chunk.
+        os.kill(procs[0].pid, signal.SIGKILL)
+        procs[0].join()
+        scheduler = make_scheme("CSS(5)", wl.size, 3)
+        result = real_master(scheduler, pipes)
+        assert result.assigned_iterations() == 40
+        for proc in procs[1:]:
+            proc.join(timeout=10)

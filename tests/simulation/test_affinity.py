@@ -1,0 +1,101 @@
+"""Tests for the affinity-scheduling engine (paper reference [12])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation import simulate_affinity
+from repro.workloads import UniformWorkload
+
+from tests.conftest import make_cluster
+
+
+class TestCompletion:
+    def test_all_iterations_computed(self, reordered_mandelbrot,
+                                     hetero_cluster):
+        result = simulate_affinity(reordered_mandelbrot, hetero_cluster)
+        assert result.total_iterations == reordered_mandelbrot.size
+        assert result.scheme == "AS"
+
+    def test_results_reproduce_serial(self, reordered_mandelbrot,
+                                      hetero_cluster):
+        result = simulate_affinity(
+            reordered_mandelbrot, hetero_cluster, collect_results=True
+        )
+        serial = reordered_mandelbrot.execute_serial()
+        np.testing.assert_array_equal(
+            np.asarray(result.results).reshape(serial.shape), serial
+        )
+
+    def test_empty_loop(self, hetero_cluster):
+        result = simulate_affinity(UniformWorkload(0), hetero_cluster)
+        assert result.t_p == 0.0
+
+    def test_single_worker(self):
+        cluster = make_cluster(n_fast=1, n_slow=0)
+        result = simulate_affinity(UniformWorkload(50), cluster)
+        assert result.total_iterations == 50
+
+
+class TestAffinityBehaviour:
+    def test_geometric_self_serve_slices(self, uniform_workload):
+        # A worker's own-queue takes shrink like GSS over its block.
+        cluster = make_cluster(n_fast=1, n_slow=0)
+        result = simulate_affinity(uniform_workload, cluster)
+        sizes = [c.size for c in result.chunks]
+        assert sizes[0] == -(-uniform_workload.size // 1)  # p=1: all
+        # With p = 1 the whole block is one take; use p = 4 for shape.
+        cluster4 = make_cluster(n_fast=4, n_slow=0)
+        result4 = simulate_affinity(uniform_workload, cluster4)
+        w0 = [c.size for c in result4.chunks if c.worker == 0]
+        assert all(a >= b for a, b in zip(w0[:3], w0[1:4]))
+
+    def test_steals_target_most_loaded(self, uniform_workload):
+        # Fast PEs drain their queues and then relieve the slow ones.
+        cluster = make_cluster(n_fast=2, n_slow=2)
+        result = simulate_affinity(uniform_workload, cluster)
+        assert result.rederivations > 0  # steal counter
+        fast_iters = sum(
+            w.iterations for w in result.workers[:2]
+        )
+        slow_iters = sum(
+            w.iterations for w in result.workers[2:]
+        )
+        assert fast_iters > slow_iters
+
+    def test_weighted_allocation(self, uniform_workload):
+        cluster = make_cluster(n_fast=2, n_slow=2)
+        even = simulate_affinity(uniform_workload, cluster)
+        weighted = simulate_affinity(
+            uniform_workload, cluster, weighted=True
+        )
+        assert weighted.rederivations <= even.rederivations
+
+    def test_beats_static_on_heterogeneous_cluster(
+        self, uniform_workload
+    ):
+        from repro.simulation import simulate
+
+        cluster = make_cluster(n_fast=2, n_slow=2)
+        static = simulate("S", uniform_workload, cluster)
+        affinity = simulate_affinity(uniform_workload, cluster)
+        assert affinity.t_p < static.t_p
+
+    def test_deterministic(self, peak_workload):
+        a = simulate_affinity(peak_workload, make_cluster())
+        b = simulate_affinity(peak_workload, make_cluster())
+        assert a.t_p == b.t_p
+        assert a.rederivations == b.rederivations
+
+
+class TestValidation:
+    def test_bad_parameters(self, uniform_workload, hetero_cluster):
+        from repro.simulation import SimulationError
+
+        with pytest.raises(SimulationError):
+            simulate_affinity(uniform_workload, hetero_cluster,
+                              flush_interval=0.0)
+        with pytest.raises(SimulationError):
+            simulate_affinity(uniform_workload, hetero_cluster,
+                              min_steal=1)

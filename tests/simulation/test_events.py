@@ -1,0 +1,81 @@
+"""Tests for the discrete-event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import EventQueue, SimulationError
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(3.0, lambda e: fired.append("c"))
+        q.schedule(1.0, lambda e: fired.append("a"))
+        q.schedule(2.0, lambda e: fired.append("b"))
+        q.run()
+        assert fired == ["a", "b", "c"]
+        assert q.now == 3.0
+
+    def test_fifo_tiebreak(self):
+        q = EventQueue()
+        fired = []
+        for label in "abc":
+            q.schedule(1.0, lambda e, s=label: fired.append(s))
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_cannot_schedule_in_past(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda e: q.pop())
+        q.run()
+        with pytest.raises(SimulationError):
+            q.schedule_at(0.5, lambda e: None)
+        with pytest.raises(SimulationError):
+            q.schedule(-1.0, lambda e: None)
+
+    def test_actions_can_schedule_more(self):
+        q = EventQueue()
+        fired = []
+
+        def chain(event):
+            fired.append(q.now)
+            if q.now < 3.0:
+                q.schedule(1.0, chain)
+
+        q.schedule(1.0, chain)
+        q.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_until_bound(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda e: fired.append(1))
+        q.schedule(5.0, lambda e: fired.append(5))
+        q.run(until=2.0)
+        assert fired == [1]
+        assert len(q) == 1
+
+    def test_runaway_guard(self):
+        q = EventQueue()
+
+        def forever(event):
+            q.schedule(0.001, forever)
+
+        q.schedule(0.001, forever)
+        with pytest.raises(SimulationError):
+            q.run(max_events=100)
+
+    def test_payload_and_kind(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(
+            1.0, lambda e: seen.append((e.kind, e.payload)),
+            kind="ping", payload={"x": 1},
+        )
+        q.run()
+        assert seen == [("ping", {"x": 1})]
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None

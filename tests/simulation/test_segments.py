@@ -1,0 +1,76 @@
+"""Tests for shared-medium LAN segments (the 2001 hub model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation import ClusterSpec, NodeSpec, simulate
+from repro.workloads import GaussianPeakWorkload, UniformWorkload
+
+
+def cluster(segment_map: dict[int, str | None], n: int = 4,
+            result_bytes: float = 16000.0) -> ClusterSpec:
+    return ClusterSpec(
+        nodes=[
+            NodeSpec(
+                name=f"n{i}",
+                speed=100.0,
+                bandwidth=1.25e6,
+                segment=segment_map.get(i),
+            )
+            for i in range(n)
+        ],
+        result_bytes_per_item=result_bytes,
+    )
+
+
+class TestSharedSegments:
+    def test_shared_is_slower_than_switched(self):
+        wl = GaussianPeakWorkload(300, amplitude=30.0)
+        switched = simulate("TSS", wl, cluster({}))
+        shared = simulate(
+            "TSS", wl, cluster({i: "hub" for i in range(4)})
+        )
+        assert shared.t_p > switched.t_p
+
+    def test_contention_grows_with_data_volume(self):
+        wl = UniformWorkload(200)
+        light = simulate(
+            "FSS", wl,
+            cluster({i: "hub" for i in range(4)}, result_bytes=100.0),
+        )
+        heavy = simulate(
+            "FSS", wl,
+            cluster({i: "hub" for i in range(4)},
+                    result_bytes=100000.0),
+        )
+        # Heavier piggybacks hold the hub longer.
+        light_wait = sum(w.t_wait for w in light.workers)
+        heavy_wait = sum(w.t_wait for w in heavy.workers)
+        assert heavy_wait > light_wait
+
+    def test_separate_segments_do_not_contend(self):
+        wl = UniformWorkload(200)
+        one_hub = simulate(
+            "GSS", wl, cluster({i: "hub" for i in range(4)})
+        )
+        two_hubs = simulate(
+            "GSS", wl,
+            cluster({0: "a", 1: "a", 2: "b", 3: "b"}),
+        )
+        assert two_hubs.t_p <= one_hub.t_p + 1e-9
+
+    def test_results_still_correct(self):
+        wl = GaussianPeakWorkload(150, amplitude=10.0)
+        result = simulate(
+            "DTSS", wl, cluster({i: "hub" for i in range(4)}),
+            collect_results=True,
+        )
+        np.testing.assert_allclose(result.results, wl.costs())
+        assert result.total_iterations == 150
+
+    def test_deterministic(self):
+        wl = UniformWorkload(100)
+        a = simulate("TSS", wl, cluster({0: "hub", 1: "hub"}))
+        b = simulate("TSS", wl, cluster({0: "hub", 1: "hub"}))
+        assert a.t_p == b.t_p

@@ -1,0 +1,94 @@
+"""Tests for trace export and the Gantt renderer."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.simulation import (
+    chunks_to_csv,
+    chunks_to_json,
+    gantt_chart,
+    simulate,
+)
+from repro.workloads import UniformWorkload
+
+from tests.conftest import make_cluster
+
+
+def run_once():
+    return simulate("TSS", UniformWorkload(120), make_cluster())
+
+
+class TestCsvExport:
+    def test_round_trips_through_csv_reader(self):
+        result = run_once()
+        rows = list(csv.DictReader(io.StringIO(chunks_to_csv(result))))
+        assert len(rows) == len(result.chunks)
+        total = sum(int(r["size"]) for r in rows)
+        assert total == 120
+
+    def test_columns(self):
+        result = run_once()
+        header = chunks_to_csv(result).splitlines()[0]
+        assert header.split(",") == [
+            "worker", "start", "stop", "size", "stage",
+            "assigned_at", "completed_at",
+        ]
+
+
+class TestJsonExport:
+    def test_valid_json_with_metadata(self):
+        result = run_once()
+        doc = json.loads(chunks_to_json(result))
+        assert doc["scheme"] == "TSS"
+        assert doc["t_p"] == result.t_p
+        assert len(doc["workers"]) == 4
+        assert len(doc["chunks"]) == len(result.chunks)
+
+    def test_chunk_fields(self):
+        doc = json.loads(chunks_to_json(run_once()))
+        chunk = doc["chunks"][0]
+        assert set(chunk) == {
+            "worker", "start", "stop", "stage", "assigned_at",
+            "completed_at",
+        }
+
+
+class TestGantt:
+    def test_one_row_per_worker(self):
+        result = run_once()
+        chart = gantt_chart(result, width=40)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert len(rows) == 4
+
+    def test_busy_cells_present(self):
+        result = run_once()
+        chart = gantt_chart(result)
+        assert "#" in chart
+
+    def test_respects_width(self):
+        result = run_once()
+        chart = gantt_chart(result, width=30)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert all(len(r.split("|")[1]) == 30 for r in rows)
+
+    def test_empty_run(self):
+        result = simulate("TSS", UniformWorkload(0), make_cluster())
+        assert gantt_chart(result) == "(empty run)"
+
+    def test_straggler_visible(self):
+        # A static split on a heterogeneous pair: the slow PE's row is
+        # busy to the right edge, the fast one idles there.
+        result = simulate(
+            "S", UniformWorkload(100), make_cluster(n_fast=1, n_slow=1)
+        )
+        chart = gantt_chart(result, width=40)
+        fast_row, slow_row = [
+            line.split("|")[1]
+            for line in chart.splitlines()
+            if "|" in line
+        ]
+        assert slow_row.rstrip(".")[-1] in "#="
+        assert fast_row.endswith(".")

@@ -1,0 +1,79 @@
+"""Unit tests for TreeS engine internals (_TreeWorker mechanics)."""
+
+from __future__ import annotations
+
+from repro.core.tree import partner_order
+from repro.simulation import NodeSpec, WorkerMetrics
+from repro.simulation.tree_engine import _TreeWorker
+
+
+def worker(ranges, index=0, workers=4):
+    return _TreeWorker(
+        index=index,
+        node=NodeSpec(name=f"n{index}", speed=1.0),
+        metrics=WorkerMetrics(name=f"n{index}"),
+        ranges=[list(r) for r in ranges],
+        partners=partner_order(index, workers),
+    )
+
+
+class TestPopBlock:
+    def test_takes_from_front(self):
+        w = worker([(0, 10)])
+        assert w.pop_block(3) == (0, 3)
+        assert w.pop_block(3) == (3, 6)
+        assert w.remaining() == 4
+
+    def test_grain_clipped_to_range(self):
+        w = worker([(0, 2)])
+        assert w.pop_block(10) == (0, 2)
+        assert w.pop_block(10) is None
+
+    def test_skips_empty_ranges(self):
+        w = worker([(5, 5), (7, 9)])
+        assert w.pop_block(1) == (7, 8)
+
+    def test_crosses_range_boundary_in_two_pops(self):
+        w = worker([(0, 2), (10, 12)])
+        assert w.pop_block(4) == (0, 2)
+        assert w.pop_block(4) == (10, 12)
+
+    def test_empty_worker(self):
+        assert worker([]).pop_block(1) is None
+
+
+class TestStealHalf:
+    def test_takes_back_half_of_single_range(self):
+        w = worker([(0, 10)])
+        assert w.steal_half(2) == (5, 10)
+        assert w.remaining() == 5
+
+    def test_victim_keeps_odd_extra(self):
+        w = worker([(0, 7)])
+        stolen = w.steal_half(2)
+        assert stolen == (4, 7)
+        assert w.remaining() == 4
+
+    def test_refuses_below_min(self):
+        w = worker([(0, 1)])
+        assert w.steal_half(2) is None
+        assert w.remaining() == 1
+
+    def test_takes_whole_tail_range_when_small(self):
+        # With two ranges, half the total may exceed the tail range:
+        # the thief gets the whole tail (a single contiguous interval).
+        w = worker([(0, 8), (20, 22)])
+        stolen = w.steal_half(2)
+        assert stolen == (20, 22)
+        assert w.remaining() == 8
+
+    def test_repeated_steals_converge(self):
+        w = worker([(0, 100)])
+        total_stolen = 0
+        while True:
+            stolen = w.steal_half(2)
+            if stolen is None:
+                break
+            total_stolen += stolen[1] - stolen[0]
+        assert total_stolen + w.remaining() == 100
+        assert w.remaining() >= 1

@@ -1,0 +1,77 @@
+"""Smoke tests: every example script runs end-to-end (small args).
+
+Examples are documentation that compiles; these tests keep them from
+rotting.  Each runs in a subprocess exactly as a user would run it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 300.0):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Chunk sizes for I = 1000" in out
+    assert "[113, 113, 113, 113" in out
+    assert "T_p" in out
+
+
+def test_mandelbrot_cluster():
+    out = run_example(
+        "mandelbrot_cluster.py", "--width", "300", "--height", "150"
+    )
+    assert "Simple schemes, dedicated" in out
+    assert "Distributed schemes, nondedicated" in out
+    assert "Figure 2" in out
+
+
+def test_nondedicated_adaptive():
+    out = run_example("nondedicated_adaptive.py")
+    assert "re-derivations = 1" in out
+    assert "PEs used" in out
+
+
+def test_real_multiprocessing():
+    out = run_example(
+        "real_multiprocessing.py", "--width", "160", "--height", "80",
+        "--workers", "2",
+    )
+    assert "verified against serial" in out
+    assert "matrix-add stressors" in out
+
+
+def test_custom_scheme():
+    out = run_example("custom_scheme.py")
+    assert "QSS chunk trace" in out
+    assert "results identical to serial: True" in out
+
+
+@pytest.mark.parametrize(
+    "command",
+    [["table1"], ["validate", "--width", "1000", "--height", "500"]],
+)
+def test_cli_entry_point(command):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.experiments.runner", *command],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]

@@ -1,0 +1,140 @@
+"""Tests for the Mandelbrot column workload (paper Sec. 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    MandelbrotWorkload,
+    WorkloadError,
+    escape_counts,
+    render_ascii,
+)
+from repro.workloads.mandelbrot import PAPER_DOMAIN
+
+
+class TestEscapeCounts:
+    def test_known_points(self):
+        # 0 is in the set (never escapes); 2+2j escapes immediately
+        # after the first iteration.
+        counts = escape_counts(np.array([0 + 0j, 2 + 2j]), max_iter=30)
+        assert counts[0] == 30
+        assert counts[1] == 1
+
+    def test_interior_point_costs_max_iter(self):
+        counts = escape_counts(np.array([-1 + 0j]), max_iter=64)
+        assert counts[0] == 64  # period-2 cycle, never escapes
+
+    def test_counts_monotone_in_max_iter(self):
+        c = np.array([-0.75 + 0.3j, 0.3 + 0.5j, -1.5 + 0.2j])
+        low = escape_counts(c, max_iter=8)
+        high = escape_counts(c, max_iter=64)
+        assert (high >= low).all()
+
+    def test_shape_preserved(self):
+        grid = np.zeros((5, 7), dtype=np.complex128)
+        assert escape_counts(grid, 10).shape == (5, 7)
+
+    def test_invalid_max_iter(self):
+        with pytest.raises(WorkloadError):
+            escape_counts(np.zeros(3, dtype=complex), 0)
+
+    def test_compaction_matches_reference(self):
+        # The compacted kernel must agree with the naive reference.
+        rng = np.random.default_rng(0)
+        c = (rng.uniform(-2, 1, 200) + 1j * rng.uniform(-1.5, 1.5, 200))
+        fast = escape_counts(c, 40)
+        z = np.zeros_like(c)
+        ref = np.zeros(c.shape, dtype=np.int32)
+        live = np.ones(c.shape, dtype=bool)
+        for _ in range(40):
+            z[live] = z[live] ** 2 + c[live]
+            ref[live] += 1
+            live &= np.abs(z) <= 2.0
+        np.testing.assert_array_equal(fast, ref)
+
+
+class TestWorkload:
+    def test_paper_domain_default(self, small_mandelbrot):
+        assert small_mandelbrot.domain == PAPER_DOMAIN
+
+    def test_size_is_width(self, small_mandelbrot):
+        assert small_mandelbrot.size == 96
+
+    def test_costs_bounds(self, small_mandelbrot):
+        costs = small_mandelbrot.costs()
+        # Every pixel costs at least 1 and at most max_iter iterations.
+        assert costs.min() >= small_mandelbrot.height
+        assert costs.max() <= small_mandelbrot.height * 32
+
+    def test_irregular_profile(self, small_mandelbrot):
+        # The loop must actually be irregular (the paper's point).
+        costs = small_mandelbrot.costs()
+        assert costs.max() > 2 * costs.min()
+
+    def test_cost_equals_column_sum(self, small_mandelbrot):
+        col = 40
+        assert small_mandelbrot.cost(col) == pytest.approx(
+            small_mandelbrot.column_counts(col).sum()
+        )
+
+    def test_execute_matches_costs_pathway(self, small_mandelbrot):
+        flat = small_mandelbrot.execute(10, 13)
+        assert flat.shape == (3 * small_mandelbrot.height,)
+        np.testing.assert_array_equal(
+            flat[: small_mandelbrot.height],
+            small_mandelbrot.column_counts(10),
+        )
+
+    def test_chunked_execution_equals_serial(self, small_mandelbrot):
+        serial = small_mandelbrot.execute_serial()
+        parts = [
+            small_mandelbrot.execute(a, b)
+            for a, b in [(0, 30), (30, 31), (31, 96)]
+        ]
+        np.testing.assert_array_equal(np.concatenate(parts), serial)
+
+    def test_image_shape(self):
+        wl = MandelbrotWorkload(20, 12, max_iter=16)
+        assert wl.image().shape == (12, 20)
+
+    def test_zero_width(self):
+        wl = MandelbrotWorkload(0, 10)
+        assert wl.costs().shape == (0,)
+        assert wl.execute(0, 0).shape == (0,)
+
+    def test_invalid_window(self):
+        with pytest.raises(WorkloadError):
+            MandelbrotWorkload(10, 0)
+
+    def test_invalid_domain(self):
+        with pytest.raises(WorkloadError):
+            MandelbrotWorkload(10, 10, domain=(1.0, -1.0, 0.0, 1.0))
+
+    def test_block_boundary_consistency(self):
+        # Costs computed via the blocked grid pass must equal per-column
+        # computation across the _COST_BLOCK boundary.
+        wl = MandelbrotWorkload(40, 16, max_iter=24)
+        wl._COST_BLOCK = 16  # force multiple blocks
+        costs = wl.costs()
+        fresh = MandelbrotWorkload(40, 16, max_iter=24)
+        for col in (0, 15, 16, 31, 39):
+            assert costs[col] == fresh.column_counts(col).sum()
+
+
+class TestRenderAscii:
+    def test_shape_and_charset(self):
+        wl = MandelbrotWorkload(16, 8, max_iter=12)
+        art = render_ascii(wl.image())
+        lines = art.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) == 16 for line in lines)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(WorkloadError):
+            render_ascii(np.zeros(5))
+
+    def test_constant_image(self):
+        art = render_ascii(np.ones((2, 3)))
+        assert art == "   \n   "

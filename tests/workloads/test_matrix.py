@@ -1,0 +1,57 @@
+"""Tests for the matrix-add load process and workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import MatrixAddWorkload, WorkloadError, matrix_add_load
+
+
+class _FakeEvent(object):
+    def __init__(self, fire_after: int = 10**9) -> None:
+        self.calls = 0
+        self.fire_after = fire_after
+
+    def is_set(self) -> bool:
+        self.calls += 1
+        return self.calls > self.fire_after
+
+
+class TestMatrixAddLoad:
+    def test_runs_until_event(self):
+        rounds = matrix_add_load(_FakeEvent(fire_after=5), size=16)
+        assert rounds == 5
+
+    def test_max_rounds_cap(self):
+        rounds = matrix_add_load(_FakeEvent(), size=16, max_rounds=3)
+        assert rounds == 3
+
+    def test_invalid_size(self):
+        with pytest.raises(WorkloadError):
+            matrix_add_load(_FakeEvent(), size=0)
+
+
+class TestMatrixAddWorkload:
+    def test_uniform_costs(self):
+        wl = MatrixAddWorkload(n=64, size=16)
+        costs = wl.costs()
+        assert costs.min() > 0
+        assert costs.max() - costs.min() <= 64  # one row of slack
+
+    def test_blocks_reassemble_to_full_sum(self):
+        wl = MatrixAddWorkload(n=32, size=8, seed=1)
+        parts = [wl.execute(i, i + 1) for i in range(8)]
+        np.testing.assert_allclose(np.vstack(parts), wl.expected())
+
+    def test_chunked_equals_serial(self):
+        wl = MatrixAddWorkload(n=40, size=10, seed=2)
+        serial = wl.execute_serial()
+        chunked = np.vstack([wl.execute(0, 4), wl.execute(4, 10)])
+        np.testing.assert_allclose(chunked, serial)
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            MatrixAddWorkload(n=0)
+        with pytest.raises(WorkloadError):
+            MatrixAddWorkload(n=8, size=9)
