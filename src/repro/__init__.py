@@ -16,7 +16,11 @@ Grosu, *A Class of Loop Self-Scheduling for Heterogeneous Clusters*
 * :mod:`repro.runtime` -- a real multiprocessing master--worker engine
   (the stand-in for MPI);
 * :mod:`repro.analysis` -- chunk traces, balance metrics, speedup;
-* :mod:`repro.experiments` -- regenerates every table and figure.
+* :mod:`repro.experiments` -- regenerates every table and figure;
+* :mod:`repro.batch` -- process-parallel fan-out of independent
+  simulation jobs (``run_batch``);
+* :mod:`repro.cache` -- the persistent, content-addressed cost-profile
+  cache behind ``Workload.costs()``.
 
 Quick start::
 
@@ -30,6 +34,8 @@ Quick start::
     print(res.summary())
 """
 
+from .batch import SimJob, run_batch
+from .cache import CostCache, configure as configure_cache, get_cache
 from .core import (
     ChunkAssignment,
     Scheduler,
@@ -64,4 +70,9 @@ __all__ = [
     "simulate_tree",
     "paper_workload",
     "paper_cluster",
+    "SimJob",
+    "run_batch",
+    "CostCache",
+    "get_cache",
+    "configure_cache",
 ]

@@ -1,0 +1,173 @@
+"""Process-parallel fan-out of independent simulation jobs.
+
+The paper's artifact set is a large sweep of *independent* runs --
+schemes x p in {1, 2, 4, 8} x dedicated/nondedicated x seeds -- and the
+discrete-event simulator is single-threaded pure Python, so the sweep
+is embarrassingly parallel.  This module is the one place that
+parallelism lives:
+
+* :class:`SimJob` describes one run declaratively (scheme name,
+  workload, cluster, engine kind, extra simulate kwargs).  Jobs are
+  plain picklable data with a deterministic :meth:`SimJob.key`, so a
+  batch is reproducible and auditable.
+* :func:`run_batch` executes a job list and returns results **in
+  submission order**.  ``n_jobs=1`` runs in-process (no pool, no
+  subprocesses -- the hermetic path tests use); ``n_jobs>1`` fans out
+  over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Every
+  simulation is deterministic, so the two paths are bit-identical.
+
+Before submission the parent resolves every workload's cost vector
+(persistent cache hit or one computation) so pool workers receive a
+precomputed profile inside the pickled workload and never re-derive
+the grid; the Mandelbrot column memo is explicitly *excluded* from the
+pickle (see ``MandelbrotWorkload.__getstate__``).
+
+``n_jobs`` resolution: an explicit positive integer wins; ``0`` or
+``None`` means "all cores" (``REPRO_JOBS`` overrides the core count).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Optional, Sequence
+
+from .simulation import ClusterSpec, SimResult, simulate, simulate_tree
+from .workloads import Workload
+
+__all__ = ["SimJob", "run_batch", "resolve_jobs", "batch_keys"]
+
+#: Environment variable overriding the "all cores" job count.
+ENV_JOBS = "REPRO_JOBS"
+
+
+@dataclasses.dataclass(frozen=True)
+class SimJob(object):
+    """One independent simulation: inputs only, no shared state.
+
+    ``engine`` selects the executor: ``"master"`` (the centralized
+    master--slave engine, :func:`repro.simulation.simulate`) or
+    ``"tree"`` (the decentralized tree engine,
+    :func:`repro.simulation.simulate_tree`, for which ``scheme`` is
+    cosmetic and ``params`` carries ``weighted``/``grain``).
+    ``params`` holds extra keyword arguments (``acp_model``, ``alpha``,
+    ...); ``tag`` is a free-form caller label (e.g. ``"p=8/ded"``).
+    """
+
+    scheme: str
+    workload: Workload
+    cluster: ClusterSpec
+    engine: str = "master"
+    params: dict = dataclasses.field(default_factory=dict)
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("master", "tree"):
+            raise ValueError(
+                f"engine must be 'master' or 'tree', got {self.engine!r}"
+            )
+
+    def describe(self) -> str:
+        """A stable, human-readable descriptor of the job's inputs."""
+        wl = self.workload
+        wl_sig = wl.cost_signature()
+        wl_part = (
+            repr(wl_sig) if wl_sig is not None
+            else f"{type(wl).__name__}(size={wl.size})"
+        )
+        cl = self.cluster
+        nodes = ";".join(
+            f"{n.name}:s={n.speed!r}:l={n.latency!r}:b={n.bandwidth!r}"
+            f":v={n.virtual_power!r}:f={n.fails_at!r}"
+            f":seg={n.segment!r}:load={n.load!r}"
+            for n in cl.nodes
+        )
+        cl_part = (
+            f"nodes=[{nodes}]:ms={cl.master_service!r}"
+            f":req={cl.request_bytes!r}:rep={cl.reply_bytes!r}"
+            f":res={cl.result_bytes_per_item!r}"
+            f":mbw={cl.master_bandwidth!r}"
+        )
+        params = ",".join(
+            f"{k}={self.params[k]!r}" for k in sorted(self.params)
+        )
+        return (
+            f"{self.engine}|{self.scheme}|{self.tag}|{wl_part}"
+            f"|{cl_part}|{params}"
+        )
+
+    @property
+    def key(self) -> str:
+        """Deterministic job identity: sha256 of :meth:`describe`."""
+        return hashlib.sha256(
+            self.describe().encode("utf-8")
+        ).hexdigest()
+
+    def run(self) -> SimResult:
+        """Execute this job in the current process."""
+        if self.engine == "tree":
+            return simulate_tree(self.workload, self.cluster,
+                                 **self.params)
+        return simulate(self.scheme, self.workload, self.cluster,
+                        **self.params)
+
+
+def _execute(job: SimJob) -> SimResult:
+    """Top-level pool target (must be module-level for pickling)."""
+    return job.run()
+
+
+def resolve_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize an ``n_jobs`` request to a concrete worker count."""
+    if n_jobs is None or n_jobs == 0:
+        env = os.environ.get(ENV_JOBS)
+        if env:
+            try:
+                return max(1, int(env))
+            except ValueError:
+                pass
+        return max(1, os.cpu_count() or 1)
+    if n_jobs < 0:
+        raise ValueError(f"n_jobs must be >= 0 or None, got {n_jobs}")
+    return int(n_jobs)
+
+
+def run_batch(
+    jobs: Iterable[SimJob],
+    n_jobs: Optional[int] = 1,
+    pool: Optional[ProcessPoolExecutor] = None,
+) -> list[SimResult]:
+    """Run every job; results come back in submission order.
+
+    ``n_jobs=1`` (the default) executes in-process with no pool at all,
+    guaranteeing hermetic, dependency-free behaviour; ``n_jobs>1`` (or
+    ``0``/``None`` for all cores) fans out across processes.  The
+    simulations are deterministic, so both paths produce bit-identical
+    results.  An existing ``pool`` may be passed to amortize worker
+    start-up across batches (``n_jobs`` is then ignored).
+    """
+    jobs = list(jobs)
+    for job in jobs:
+        if not isinstance(job, SimJob):
+            raise TypeError(f"run_batch expects SimJob items, got {job!r}")
+    # Resolve every distinct workload's cost vector in the parent so
+    # pool workers receive a precomputed profile instead of re-deriving
+    # the grid once per process.
+    for workload in {id(j.workload): j.workload for j in jobs}.values():
+        workload.costs()
+    if pool is not None:
+        return [f.result() for f in
+                [pool.submit(_execute, job) for job in jobs]]
+    workers = resolve_jobs(n_jobs)
+    if workers == 1 or len(jobs) <= 1:
+        return [job.run() for job in jobs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as ex:
+        futures = [ex.submit(_execute, job) for job in jobs]
+        return [f.result() for f in futures]
+
+
+def batch_keys(jobs: Sequence[SimJob]) -> list[str]:
+    """Deterministic keys for a job list (submission order)."""
+    return [job.key for job in jobs]

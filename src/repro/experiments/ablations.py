@@ -13,8 +13,9 @@ import dataclasses
 from typing import Optional, Sequence
 
 from ..analysis import format_matrix
+from ..batch import SimJob, run_batch
 from ..core.acp import AcpModel
-from ..simulation import SimResult, simulate
+from ..simulation import SimResult
 from ..workloads import MandelbrotWorkload, ReorderedWorkload, Workload
 from .config import overload_pattern, paper_cluster, paper_workload
 
@@ -60,9 +61,23 @@ def _row(knob: str, value: object, result: SimResult) -> AblationRow:
     )
 
 
+def _sweep(
+    knob: str,
+    jobs: Sequence[tuple[object, SimJob]],
+    n_jobs: int = 1,
+) -> list[AblationRow]:
+    """Run one sweep's (value, job) grid through the batch layer."""
+    results = run_batch([job for _v, job in jobs], n_jobs=n_jobs)
+    return [
+        _row(knob, value, result)
+        for (value, _job), result in zip(jobs, results)
+    ]
+
+
 def acp_scale_sweep(
     workload: Optional[Workload] = None,
     scales: Sequence[int] = (1, 10, 100),
+    n_jobs: int = 1,
 ) -> list[AblationRow]:
     """Paper Sec. 5.2-I: the ACP scaling constant, under overload.
 
@@ -72,14 +87,16 @@ def acp_scale_sweep(
     ``I`` and collapse chunk granularity.
     """
     wl = workload or paper_workload(width=1000, height=500)
-    rows = []
-    for scale in scales:
-        cluster = paper_cluster(wl, overloaded=overload_pattern(8))
-        result = simulate(
-            "DTSS", wl, cluster, acp_model=AcpModel(scale=scale)
-        )
-        rows.append(_row("acp_scale", scale, result))
-    return rows
+    jobs = [
+        (scale, SimJob(
+            scheme="DTSS", workload=wl,
+            cluster=paper_cluster(wl, overloaded=overload_pattern(8)),
+            params=dict(acp_model=AcpModel(scale=scale)),
+            tag=f"ablation/acp_scale={scale}",
+        ))
+        for scale in scales
+    ]
+    return _sweep("acp_scale", jobs, n_jobs=n_jobs)
 
 
 def sampling_sweep(
@@ -87,74 +104,86 @@ def sampling_sweep(
     height: int = 500,
     sfs: Sequence[int] = (1, 2, 4, 8, 16),
     scheme: str = "TSS",
+    n_jobs: int = 1,
 ) -> list[AblationRow]:
     """Paper Sec. 2.1: the loop-reordering sampling frequency."""
     inner = MandelbrotWorkload(width, height, max_iter=64)
     inner.costs()
-    rows = []
+    jobs = []
     for sf in sfs:
         wl = ReorderedWorkload(inner, sf=sf) if sf > 1 else inner
-        cluster = paper_cluster(wl)
-        rows.append(_row("S_f", sf, simulate(scheme, wl, cluster)))
-    return rows
+        jobs.append((sf, SimJob(
+            scheme=scheme, workload=wl, cluster=paper_cluster(wl),
+            tag=f"ablation/sf={sf}",
+        )))
+    return _sweep("S_f", jobs, n_jobs=n_jobs)
 
 
 def css_chunk_sweep(
     workload: Optional[Workload] = None,
     ks: Sequence[int] = (1, 4, 16, 64, 256),
+    n_jobs: int = 1,
 ) -> list[AblationRow]:
     """CSS's k: the communication/imbalance trade-off (paper Sec. 2.2)."""
     wl = workload or paper_workload(width=1000, height=500)
-    rows = []
-    for k in ks:
-        cluster = paper_cluster(wl)
-        rows.append(_row("k", k, simulate(f"CSS({k})", wl, cluster)))
-    return rows
+    jobs = [
+        (k, SimJob(
+            scheme=f"CSS({k})", workload=wl, cluster=paper_cluster(wl),
+            tag=f"ablation/k={k}",
+        ))
+        for k in ks
+    ]
+    return _sweep("k", jobs, n_jobs=n_jobs)
 
 
 def alpha_sweep(
     workload: Optional[Workload] = None,
     alphas: Sequence[float] = (1.5, 2.0, 3.0, 4.0),
+    n_jobs: int = 1,
 ) -> list[AblationRow]:
     """FSS's alpha: stage shrink factor (2.0 is Hummel's suboptimal
     robust choice, which the paper adopts)."""
     wl = workload or paper_workload(width=1000, height=500)
-    rows = []
-    for alpha in alphas:
-        cluster = paper_cluster(wl)
-        rows.append(
-            _row("alpha", alpha, simulate("FSS", wl, cluster,
-                                          alpha=alpha))
-        )
-    return rows
+    jobs = [
+        (alpha, SimJob(
+            scheme="FSS", workload=wl, cluster=paper_cluster(wl),
+            params=dict(alpha=alpha), tag=f"ablation/alpha={alpha}",
+        ))
+        for alpha in alphas
+    ]
+    return _sweep("alpha", jobs, n_jobs=n_jobs)
 
 
 def master_service_sweep(
     workload: Optional[Workload] = None,
     services_ms: Sequence[float] = (0.1, 1.0, 10.0, 100.0),
     scheme: str = "GSS",
+    n_jobs: int = 1,
 ) -> list[AblationRow]:
     """Master request-service time: the contention behind the p=2 dip."""
     wl = workload or paper_workload(width=1000, height=500)
-    rows = []
+    jobs = []
     for ms in services_ms:
         cluster = paper_cluster(wl)
         cluster.master_service = ms / 1000.0
-        rows.append(_row("service_ms", ms, simulate(scheme, wl,
-                                                    cluster)))
-    return rows
+        jobs.append((ms, SimJob(
+            scheme=scheme, workload=wl, cluster=cluster,
+            tag=f"ablation/service_ms={ms}",
+        )))
+    return _sweep("service_ms", jobs, n_jobs=n_jobs)
 
 
-def report(workload: Optional[Workload] = None) -> str:
+def report(workload: Optional[Workload] = None, n_jobs: int = 1) -> str:
     """All sweeps, rendered as text tables."""
     wl = workload or paper_workload(width=1000, height=500)
     sections = [
         ("ACP scale (DTSS, nondedicated) -- paper Sec. 5.2-I",
-         acp_scale_sweep(wl)),
-        ("Sampling frequency S_f (TSS)", sampling_sweep()),
-        ("CSS chunk size k", css_chunk_sweep(wl)),
-        ("FSS alpha", alpha_sweep(wl)),
-        ("Master service time (GSS)", master_service_sweep(wl)),
+         acp_scale_sweep(wl, n_jobs=n_jobs)),
+        ("Sampling frequency S_f (TSS)", sampling_sweep(n_jobs=n_jobs)),
+        ("CSS chunk size k", css_chunk_sweep(wl, n_jobs=n_jobs)),
+        ("FSS alpha", alpha_sweep(wl, n_jobs=n_jobs)),
+        ("Master service time (GSS)",
+         master_service_sweep(wl, n_jobs=n_jobs)),
     ]
     parts = []
     headers = ["T_p (s)", "chunks", "imbalance", "idle PEs"]

@@ -23,7 +23,7 @@ from typing import Optional
 import numpy as np
 
 from ..analysis import power_cap
-from ..simulation import simulate, simulate_tree
+from ..batch import SimJob, run_batch
 from ..workloads import MandelbrotWorkload, ReorderedWorkload, Workload
 from .config import (
     FAST_SLOW_RATIO,
@@ -35,6 +35,7 @@ __all__ = [
     "figure1",
     "figure2_ascii",
     "SpeedupFigure",
+    "speedup_jobs",
     "speedup_figure",
     "figure4",
     "figure5",
@@ -94,6 +95,38 @@ class SpeedupFigure(object):
         return "\n".join(lines)
 
 
+def speedup_jobs(
+    schemes: tuple[str, ...],
+    dedicated: bool,
+    workload: Workload,
+    serial_seconds: float = 60.0,
+    weighted_tree: bool = False,
+) -> list[tuple[int, str, SimJob]]:
+    """The (p, scheme) grid of one speedup figure as batch jobs."""
+    out: list[tuple[int, str, SimJob]] = []
+    mode = "ded" if dedicated else "nonded"
+    for p in P_VALUES:
+        cluster = speedup_configuration(
+            workload, p, dedicated=dedicated,
+            serial_seconds=serial_seconds,
+        )
+        for scheme in schemes:
+            if scheme == "TreeS":
+                job = SimJob(
+                    scheme=scheme, workload=workload, cluster=cluster,
+                    engine="tree",
+                    params=dict(weighted=weighted_tree, grain=8),
+                    tag=f"speedup/{mode}/p={p}",
+                )
+            else:
+                job = SimJob(
+                    scheme=scheme, workload=workload, cluster=cluster,
+                    tag=f"speedup/{mode}/p={p}",
+                )
+            out.append((p, scheme, job))
+    return out
+
+
 def speedup_figure(
     schemes: tuple[str, ...],
     dedicated: bool,
@@ -103,8 +136,14 @@ def speedup_figure(
     height: int = 2000,
     serial_seconds: float = 60.0,
     weighted_tree: bool = False,
+    n_jobs: int = 1,
 ) -> SpeedupFigure:
-    """Measure one speedup figure over p in {1, 2, 4, 8}."""
+    """Measure one speedup figure over p in {1, 2, 4, 8}.
+
+    The (p, scheme) grid is embarrassingly parallel and goes through
+    :func:`repro.batch.run_batch`; ``n_jobs`` controls the fan-out
+    (``1`` = in-process serial, bit-identical either way).
+    """
     wl = workload or paper_workload(width=width, height=height)
     # Denominator: dedicated serial run on one fast PE.  By the cluster
     # calibration this equals serial_seconds exactly, but derive it from
@@ -116,18 +155,13 @@ def speedup_figure(
         s: [] for s in schemes
     }
     cap = power_cap([FAST_SLOW_RATIO] * 3 + [1.0] * 5)
-    for p in P_VALUES:
-        cluster = speedup_configuration(
-            wl, p, dedicated=dedicated, serial_seconds=serial_seconds
-        )
-        for scheme in schemes:
-            if scheme == "TreeS":
-                res = simulate_tree(
-                    wl, cluster, weighted=weighted_tree, grain=8
-                )
-            else:
-                res = simulate(scheme, wl, cluster)
-            series[scheme].append((p, res.t_p, serial_time / res.t_p))
+    grid = speedup_jobs(
+        schemes, dedicated, wl, serial_seconds=serial_seconds,
+        weighted_tree=weighted_tree,
+    )
+    results = run_batch([job for _p, _s, job in grid], n_jobs=n_jobs)
+    for (p, scheme, _job), res in zip(grid, results):
+        series[scheme].append((p, res.t_p, serial_time / res.t_p))
     return SpeedupFigure(
         title=title,
         dedicated=dedicated,

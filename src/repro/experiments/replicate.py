@@ -16,7 +16,8 @@ import math
 from typing import Optional, Sequence
 
 from ..analysis import format_matrix
-from ..simulation import ClusterSpec, NodeSpec, RandomLoad, simulate
+from ..batch import SimJob, run_batch
+from ..simulation import ClusterSpec, NodeSpec, RandomLoad
 from ..workloads import Workload
 from .config import (
     FAST_BANDWIDTH,
@@ -125,23 +126,35 @@ def replicated_comparison(
     replications: int = 10,
     workload: Optional[Workload] = None,
     serial_seconds: float = 60.0,
+    n_jobs: int = 1,
 ) -> list[SchemeStats]:
     """Run every scheme over ``replications`` seeded load realizations.
 
     Every scheme sees the *same* sequence of load realizations (paired
     comparison), so scheme differences are not confounded with load
-    luck.
+    luck.  The scheme x seed grid fans out through
+    :func:`repro.batch.run_batch` (each job carries its own seeded
+    cluster, so parallel execution is bit-identical to serial).
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
     wl = workload or paper_workload(width=1000, height=500)
+    batch = [
+        SimJob(
+            scheme=scheme, workload=wl,
+            cluster=_noisy_paper_cluster(wl, seed, serial_seconds),
+            tag=f"replicate/seed={seed}",
+        )
+        for scheme in schemes
+        for seed in range(replications)
+    ]
+    results = run_batch(batch, n_jobs=n_jobs)
     stats = []
-    for scheme in schemes:
-        t_ps = []
-        for seed in range(replications):
-            cluster = _noisy_paper_cluster(wl, seed, serial_seconds)
-            t_ps.append(simulate(scheme, wl, cluster).t_p)
-        stats.append(SchemeStats(scheme=scheme, t_ps=tuple(t_ps)))
+    for i, scheme in enumerate(schemes):
+        runs = results[i * replications:(i + 1) * replications]
+        stats.append(SchemeStats(
+            scheme=scheme, t_ps=tuple(r.t_p for r in runs)
+        ))
     return stats
 
 
@@ -149,10 +162,12 @@ def report(
     schemes: Sequence[str] = ("TSS", "DTSS", "DFSS", "DFISS", "DTFSS"),
     replications: int = 10,
     workload: Optional[Workload] = None,
+    n_jobs: int = 1,
 ) -> str:
     """Replicated comparison as a text table, best mean first."""
     stats = replicated_comparison(
-        schemes=schemes, replications=replications, workload=workload
+        schemes=schemes, replications=replications, workload=workload,
+        n_jobs=n_jobs,
     )
     stats = sorted(stats, key=lambda s: s.mean)
     rows = [

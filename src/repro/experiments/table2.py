@@ -15,13 +15,42 @@ from __future__ import annotations
 from typing import Optional
 
 from ..analysis import format_time_table
-from ..simulation import SimResult, simulate, simulate_tree
+from ..batch import SimJob, run_batch
+from ..simulation import SimResult
 from ..workloads import Workload
 from .config import overload_pattern, paper_cluster, paper_workload
 
-__all__ = ["SCHEMES", "run", "report"]
+__all__ = ["SCHEMES", "jobs", "run", "report"]
 
 SCHEMES = ("TSS", "FSS", "FISS", "TFSS", "TreeS")
+
+
+def jobs(
+    workload: Workload,
+    dedicated: bool = True,
+    serial_seconds: float = 60.0,
+) -> list[SimJob]:
+    """One :class:`SimJob` per Table 2 column, in column order."""
+    overloaded = () if dedicated else overload_pattern(8)
+    cluster = paper_cluster(
+        workload, overloaded=overloaded, serial_seconds=serial_seconds
+    )
+    tag = "table2/" + ("ded" if dedicated else "nonded")
+    out = []
+    for scheme in SCHEMES:
+        if scheme == "TreeS":
+            # Simple test: even initial allocation (paper Sec. 5.1).
+            out.append(SimJob(
+                scheme=scheme, workload=workload, cluster=cluster,
+                engine="tree", params=dict(weighted=False, grain=8),
+                tag=tag,
+            ))
+        else:
+            out.append(SimJob(
+                scheme=scheme, workload=workload, cluster=cluster,
+                tag=tag,
+            ))
+    return out
 
 
 def run(
@@ -30,23 +59,12 @@ def run(
     width: int = 4000,
     height: int = 2000,
     serial_seconds: float = 60.0,
+    n_jobs: int = 1,
 ) -> dict[str, SimResult]:
     """Simulate every Table 2 column; returns scheme -> result."""
     wl = workload or paper_workload(width=width, height=height)
-    overloaded = () if dedicated else overload_pattern(8)
-    cluster = paper_cluster(
-        wl, overloaded=overloaded, serial_seconds=serial_seconds
-    )
-    results: dict[str, SimResult] = {}
-    for scheme in SCHEMES:
-        if scheme == "TreeS":
-            # Simple test: even initial allocation (paper Sec. 5.1).
-            results[scheme] = simulate_tree(
-                wl, cluster, weighted=False, grain=8
-            )
-        else:
-            results[scheme] = simulate(scheme, wl, cluster)
-    return results
+    batch = jobs(wl, dedicated=dedicated, serial_seconds=serial_seconds)
+    return dict(zip(SCHEMES, run_batch(batch, n_jobs=n_jobs)))
 
 
 def report(**kwargs) -> str:

@@ -12,14 +12,45 @@ from __future__ import annotations
 from typing import Optional
 
 from ..analysis import format_time_table
+from ..batch import SimJob, run_batch
 from ..core.acp import IMPROVED_ACP, AcpModel
-from ..simulation import SimResult, simulate, simulate_tree
+from ..simulation import SimResult
 from ..workloads import Workload
 from .config import overload_pattern, paper_cluster, paper_workload
 
-__all__ = ["SCHEMES", "run", "report"]
+__all__ = ["SCHEMES", "jobs", "run", "report"]
 
 SCHEMES = ("DTSS", "DFSS", "DFISS", "DTFSS", "TreeS")
+
+
+def jobs(
+    workload: Workload,
+    dedicated: bool = True,
+    serial_seconds: float = 60.0,
+    acp_model: AcpModel = IMPROVED_ACP,
+) -> list[SimJob]:
+    """One :class:`SimJob` per Table 3 column, in column order."""
+    overloaded = () if dedicated else overload_pattern(8)
+    cluster = paper_cluster(
+        workload, overloaded=overloaded, serial_seconds=serial_seconds
+    )
+    tag = "table3/" + ("ded" if dedicated else "nonded")
+    out = []
+    for scheme in SCHEMES:
+        if scheme == "TreeS":
+            # Distributed test: virtual-power-weighted initial blocks
+            # (paper Sec. 6.1).
+            out.append(SimJob(
+                scheme=scheme, workload=workload, cluster=cluster,
+                engine="tree", params=dict(weighted=True, grain=8),
+                tag=tag,
+            ))
+        else:
+            out.append(SimJob(
+                scheme=scheme, workload=workload, cluster=cluster,
+                params=dict(acp_model=acp_model), tag=tag,
+            ))
+    return out
 
 
 def run(
@@ -29,26 +60,15 @@ def run(
     height: int = 2000,
     serial_seconds: float = 60.0,
     acp_model: AcpModel = IMPROVED_ACP,
+    n_jobs: int = 1,
 ) -> dict[str, SimResult]:
     """Simulate every Table 3 column; returns scheme -> result."""
     wl = workload or paper_workload(width=width, height=height)
-    overloaded = () if dedicated else overload_pattern(8)
-    cluster = paper_cluster(
-        wl, overloaded=overloaded, serial_seconds=serial_seconds
+    batch = jobs(
+        wl, dedicated=dedicated, serial_seconds=serial_seconds,
+        acp_model=acp_model,
     )
-    results: dict[str, SimResult] = {}
-    for scheme in SCHEMES:
-        if scheme == "TreeS":
-            # Distributed test: virtual-power-weighted initial blocks
-            # (paper Sec. 6.1).
-            results[scheme] = simulate_tree(
-                wl, cluster, weighted=True, grain=8
-            )
-        else:
-            results[scheme] = simulate(
-                scheme, wl, cluster, acp_model=acp_model
-            )
-    return results
+    return dict(zip(SCHEMES, run_batch(batch, n_jobs=n_jobs)))
 
 
 def report(**kwargs) -> str:

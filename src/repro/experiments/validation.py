@@ -28,8 +28,14 @@ class Check(object):
     detail: str = ""
 
 
-def run_checks(workload: Optional[Workload] = None) -> list[Check]:
-    """Run every shape check; returns the checklist."""
+def run_checks(
+    workload: Optional[Workload] = None, n_jobs: int = 1
+) -> list[Check]:
+    """Run every shape check; returns the checklist.
+
+    ``n_jobs`` fans the underlying table/figure simulations out through
+    the batch layer (results are bit-identical to serial).
+    """
     wl = workload or paper_workload(width=1000, height=500)
     checks: list[Check] = []
 
@@ -53,10 +59,10 @@ def run_checks(workload: Optional[Workload] = None) -> list[Check]:
     add("Table 1 chunk rows match the paper verbatim", check_table1)
 
     # -- Tables 2/3 ------------------------------------------------------------
-    simple_d = table2.run(workload=wl, dedicated=True)
-    simple_n = table2.run(workload=wl, dedicated=False)
-    dist_d = table3.run(workload=wl, dedicated=True)
-    dist_n = table3.run(workload=wl, dedicated=False)
+    simple_d = table2.run(workload=wl, dedicated=True, n_jobs=n_jobs)
+    simple_n = table2.run(workload=wl, dedicated=False, n_jobs=n_jobs)
+    dist_d = table3.run(workload=wl, dedicated=True, n_jobs=n_jobs)
+    dist_n = table3.run(workload=wl, dedicated=False, n_jobs=n_jobs)
 
     def check_simple_best():
         master = {k: v.t_p for k, v in simple_d.items() if k != "TreeS"}
@@ -126,8 +132,8 @@ def run_checks(workload: Optional[Workload] = None) -> list[Check]:
         'to the Simple schemes" (Sec. 6.1)', check_wait_reduction)
 
     # -- Figures ---------------------------------------------------------------
-    fig6 = figures.figure6(workload=wl)
-    fig4 = figures.figure4(workload=wl)
+    fig6 = figures.figure6(workload=wl, n_jobs=n_jobs)
+    fig4 = figures.figure4(workload=wl, n_jobs=n_jobs)
 
     def check_caps():
         cap = power_cap([FAST_SLOW_RATIO] * 3 + [1.0] * 5)
@@ -172,9 +178,9 @@ def run_checks(workload: Optional[Workload] = None) -> list[Check]:
     return checks
 
 
-def report(workload: Optional[Workload] = None) -> str:
+def report(workload: Optional[Workload] = None, n_jobs: int = 1) -> str:
     """The checklist as text; ends with an overall verdict."""
-    checks = run_checks(workload)
+    checks = run_checks(workload, n_jobs=n_jobs)
     lines = ["Reproduction gate -- paper shape claims", ""]
     for check in checks:
         mark = "PASS" if check.passed else "FAIL"

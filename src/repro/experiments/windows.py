@@ -20,7 +20,7 @@ import dataclasses
 from typing import Sequence
 
 from ..analysis import format_matrix
-from ..simulation import simulate
+from ..batch import SimJob, run_batch
 from .config import paper_cluster, paper_workload
 
 __all__ = ["WindowPoint", "window_sweep", "report"]
@@ -45,33 +45,45 @@ def window_sweep(
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     height: int = 1000,
     serial_seconds: float = 60.0,
+    n_jobs: int = 1,
 ) -> list[WindowPoint]:
-    """Simulate every (scheme, width) pair on the calibrated cluster."""
-    points = []
+    """Simulate every (scheme, width) pair on the calibrated cluster.
+
+    The grid goes through :func:`repro.batch.run_batch`; each width's
+    cost profile is resolved once (persistent cache) and shipped to
+    every job that shares it.
+    """
+    grid: list[tuple[str, int, SimJob]] = []
     for width in widths:
         wl = paper_workload(width=width, height=height)
+        cluster = paper_cluster(wl, serial_seconds=serial_seconds)
         for scheme in schemes:
-            cluster = paper_cluster(wl, serial_seconds=serial_seconds)
-            result = simulate(scheme, wl, cluster)
-            points.append(
-                WindowPoint(
-                    scheme=scheme,
-                    width=width,
-                    t_p=result.t_p,
-                    chunks=result.total_chunks,
-                    imbalance=result.comp_imbalance(),
-                )
-            )
-    return points
+            grid.append((scheme, width, SimJob(
+                scheme=scheme, workload=wl, cluster=cluster,
+                tag=f"windows/I={width}",
+            )))
+    results = run_batch([job for _s, _w, job in grid], n_jobs=n_jobs)
+    return [
+        WindowPoint(
+            scheme=scheme,
+            width=width,
+            t_p=result.t_p,
+            chunks=result.total_chunks,
+            imbalance=result.comp_imbalance(),
+        )
+        for (scheme, width, _job), result in zip(grid, results)
+    ]
 
 
 def report(
     widths: Sequence[int] = DEFAULT_WIDTHS,
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     height: int = 1000,
+    n_jobs: int = 1,
 ) -> str:
     """T_p per (scheme, width) in a text matrix."""
-    points = window_sweep(widths=widths, schemes=schemes, height=height)
+    points = window_sweep(widths=widths, schemes=schemes, height=height,
+                          n_jobs=n_jobs)
     by_scheme: dict[str, dict[int, WindowPoint]] = {}
     for pt in points:
         by_scheme.setdefault(pt.scheme, {})[pt.width] = pt

@@ -35,6 +35,7 @@ classic-DTSS deadlock the paper's Sec. 5.2(I) improvement fixes.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 from typing import Callable, Optional, Union
 
@@ -142,8 +143,11 @@ class MasterSlaveSimulation(object):
         self._chunks: list[ChunkRecord] = []
         self._results: list[tuple[int, np.ndarray]] = []
         self._participants: list[_WorkerState] = []
-        #: intervals lost to worker deaths, awaiting reassignment.
-        self._requeue: list[tuple[int, int]] = []
+        #: intervals lost to worker deaths, awaiting reassignment in
+        #: loop order (FIFO: first interval lost is first reassigned).
+        self._requeue: collections.deque[tuple[int, int]] = (
+            collections.deque()
+        )
         #: participants with a scheduled death still ahead.
         self._pending_failers: set[int] = set()
         #: workers parked by the master because work may still reappear
@@ -242,7 +246,7 @@ class MasterSlaveSimulation(object):
         state.metrics.t_wait += service_end - port_arrival
         assignment: Optional[tuple[int, int, int]] = None
         if self._requeue:
-            start, stop = self._requeue.pop()
+            start, stop = self._requeue.popleft()
             assignment = (start, stop, 0)
         else:
             view = WorkerView(
@@ -382,7 +386,7 @@ class MasterSlaveSimulation(object):
             state = self._parked.pop(0)
             if state.dead:
                 continue
-            start, stop = self._requeue.pop()
+            start, stop = self._requeue.popleft()
             reply_tx = state.node.transfer_time(self.cluster.reply_bytes)
             state.metrics.t_com += reply_tx
             state.pending_chunk = (start, stop, 0)

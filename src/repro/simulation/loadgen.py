@@ -103,6 +103,10 @@ class StepLoad(LoadTrace):
         idx = bisect.bisect_right(self._times, t)
         return self._times[idx] if idx < len(self._times) else None
 
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        steps = list(zip(self._times, self._qs))
+        return f"StepLoad(steps={steps!r}, initial={self.initial})"
+
 
 class PeriodicLoad(LoadTrace):
     """On/off duty cycle: ``q_on`` for ``duty * period``, then ``q_off``."""
@@ -126,6 +130,12 @@ class PeriodicLoad(LoadTrace):
         self.q_off = int(q_off)
         self.duty = float(duty)
         self.phase = float(phase)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PeriodicLoad(period={self.period}, q_on={self.q_on}, "
+            f"q_off={self.q_off}, duty={self.duty}, phase={self.phase})"
+        )
 
     def _position(self, t: float) -> float:
         return (t - self.phase) % self.period
@@ -164,11 +174,19 @@ class RandomLoad(LoadTrace):
         if q_busy < 2:
             raise SimulationError(f"q_busy must be >= 2, got {q_busy}")
         self._rng = np.random.default_rng(seed)
+        self.seed = int(seed)
         self.arrival_rate = float(arrival_rate)
         self.mean_duration = float(mean_duration)
         self.q_busy = int(q_busy)
         self._edges: list[float] = []  # alternating busy-start/busy-end
         self._horizon = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RandomLoad(seed={self.seed}, "
+            f"arrival_rate={self.arrival_rate}, "
+            f"mean_duration={self.mean_duration}, q_busy={self.q_busy})"
+        )
 
     def _extend(self, t: float) -> None:
         while self._horizon <= t:

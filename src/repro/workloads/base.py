@@ -17,6 +17,13 @@ A :class:`Workload` exposes both faces a scheduling experiment needs:
 
 Costs are cached as a NumPy vector with a prefix-sum, so chunk costs are
 O(1) regardless of chunk size.
+
+Workloads whose cost vector is a pure function of their construction
+parameters additionally expose :meth:`Workload.cost_signature`, which
+:meth:`Workload.cost_key` hashes into a content address; ``costs()``
+then consults the persistent :mod:`repro.cache` store before running
+``_compute_costs()``, so an expensive profile (the Mandelbrot grid) is
+computed once per machine rather than once per experiment module.
 """
 
 from __future__ import annotations
@@ -25,6 +32,8 @@ from abc import ABC, abstractmethod
 from typing import Optional
 
 import numpy as np
+
+from .. import cache as _cost_cache
 
 __all__ = ["Workload", "WorkloadError"]
 
@@ -57,21 +66,70 @@ class Workload(ABC):
     def _compute_costs(self) -> np.ndarray:
         """Return the full ``L(i)`` vector (float64, length ``size``)."""
 
+    def cost_signature(self) -> Optional[list]:
+        """JSON-able parameters that fully determine the cost vector.
+
+        ``None`` (the default) marks the profile uncacheable -- either
+        because it is trivially cheap or because it depends on state
+        outside the constructor arguments.  Deterministic workloads
+        (Mandelbrot, reordering wrappers) override this; the signature
+        feeds :meth:`cost_key` and must change whenever any parameter
+        that changes ``L(i)`` changes.
+        """
+        return None
+
+    def cost_key(self) -> Optional[str]:
+        """Content address of the cost vector (``None`` = uncacheable)."""
+        signature = self.cost_signature()
+        if signature is None:
+            return None
+        return _cost_cache.signature_key(signature)
+
+    def _install_costs(self, costs: np.ndarray) -> np.ndarray:
+        """Validate, freeze, and prefix-sum a cost vector."""
+        costs = np.ascontiguousarray(costs, dtype=np.float64)
+        if costs.shape != (self._size,):
+            raise WorkloadError(
+                f"cost vector shape {costs.shape} != ({self._size},)"
+            )
+        if self._size and costs.min() < 0:
+            raise WorkloadError("iteration costs must be >= 0")
+        costs = costs.copy() if not costs.flags.owndata else costs
+        costs.setflags(write=False)
+        self._costs = costs
+        prefix = np.concatenate(([0.0], np.cumsum(costs)))
+        prefix.setflags(write=False)
+        self._prefix = prefix
+        return costs
+
+    def set_costs(self, costs: np.ndarray) -> None:
+        """Inject a precomputed cost vector, bypassing computation.
+
+        The batch layer uses this to ship a cached/parent-computed
+        profile to pool workers so no process ever re-derives it.  The
+        vector must match what ``_compute_costs()`` would produce.
+        """
+        self._install_costs(np.asarray(costs, dtype=np.float64))
+
     def costs(self) -> np.ndarray:
-        """The full cost vector, computed once and cached (read-only)."""
+        """The full cost vector, computed once and cached (read-only).
+
+        Lookup order: this instance's memo, the persistent cost-profile
+        cache (:mod:`repro.cache`, keyed by :meth:`cost_key`), and only
+        then ``_compute_costs()``; a fresh computation is written back
+        to the persistent cache.
+        """
         if self._costs is None:
-            costs = np.asarray(self._compute_costs(), dtype=np.float64)
-            if costs.shape != (self._size,):
-                raise WorkloadError(
-                    f"cost vector shape {costs.shape} != ({self._size},)"
-                )
-            if self._size and costs.min() < 0:
-                raise WorkloadError("iteration costs must be >= 0")
-            costs.setflags(write=False)
-            self._costs = costs
-            prefix = np.concatenate(([0.0], np.cumsum(costs)))
-            prefix.setflags(write=False)
-            self._prefix = prefix
+            key = self.cost_key()
+            cached = _cost_cache.get_cache().get(key)
+            if cached is not None:
+                try:
+                    self._install_costs(cached)
+                except WorkloadError:
+                    cached = None  # poisoned entry: recompute below
+            if cached is None:
+                self._install_costs(self._compute_costs())
+                _cost_cache.get_cache().put(key, self._costs)
         return self._costs
 
     def cost(self, index: int) -> float:

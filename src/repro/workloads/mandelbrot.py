@@ -106,6 +106,26 @@ class MandelbrotWorkload(Workload):
         # execute() so simulation and execution agree exactly.
         self._columns: dict[int, np.ndarray] = {}
 
+    def cost_signature(self) -> list:
+        """Everything that determines the Figure 1 profile -- class,
+        window, iteration bound, and domain -- for the persistent
+        cost-profile cache (:mod:`repro.cache`)."""
+        return [
+            "mandelbrot",
+            self.width,
+            self.height,
+            self.max_iter,
+            list(self.domain),
+        ]
+
+    def __getstate__(self) -> dict:
+        """Pickle without the column memo: pool workers re-derive any
+        column they actually execute, and shipping a full-grid memo
+        (hundreds of MB at paper scale) would swamp job submission."""
+        state = self.__dict__.copy()
+        state["_columns"] = {}
+        return state
+
     # -- kernels ---------------------------------------------------------------
 
     def column_counts(self, col: int) -> np.ndarray:

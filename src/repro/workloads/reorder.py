@@ -64,6 +64,15 @@ class ReorderedWorkload(Workload):
         self.perm = sampling_permutation(inner.size, sf)
         self.name = f"{inner.name}/Sf={sf}"
 
+    def cost_signature(self):
+        """Cacheable iff the inner profile is: the reordered vector is
+        the inner signature plus the sampling frequency (which fixes
+        the permutation)."""
+        inner = self.inner.cost_signature()
+        if inner is None:
+            return None
+        return ["reordered", self.sf, inner]
+
     def _compute_costs(self) -> np.ndarray:
         inner_costs = self.inner.costs()
         return inner_costs[self.perm] if self.size else inner_costs

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import cache
 from repro.simulation import ClusterSpec, ConstantLoad, NodeSpec
 from repro.workloads import (
     GaussianPeakWorkload,
@@ -11,6 +12,21 @@ from repro.workloads import (
     ReorderedWorkload,
     UniformWorkload,
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_cost_cache(tmp_path_factory):
+    """Point the persistent cost-profile cache at a session temp dir.
+
+    Tests must not read or pollute the developer's ``~/.cache/repro``;
+    within the session the cache still works normally (so cache
+    behaviour is itself testable -- individual tests reconfigure it
+    with their own directories as needed).
+    """
+    directory = tmp_path_factory.mktemp("cost-cache")
+    cache.configure(directory=directory)
+    yield
+    cache.configure(directory=directory)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,154 @@
+"""Integration tests: the batch layer + persistent cache as used by
+the experiment entry points and the repro-experiments CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cache
+from repro.experiments import figures, replicate, table2, table3, windows
+from repro.experiments.runner import ALL_ARTIFACTS, build_parser, main
+from repro.workloads import MandelbrotWorkload
+
+
+@pytest.fixture(scope="module")
+def small_paper_workload():
+    from repro.experiments import paper_workload
+
+    return paper_workload(width=300, height=150)
+
+
+class TestWarmCache:
+    def test_warm_table2_skips_cost_computation(self, tmp_path,
+                                                monkeypatch):
+        from repro.experiments import paper_workload
+
+        previous = cache.get_cache()
+        try:
+            cache.configure(directory=tmp_path / "warm")
+            # Cold pass: computes and persists the profile.
+            paper_workload(width=200, height=100).costs()
+
+            def boom(self):  # pragma: no cover - must not run
+                raise AssertionError(
+                    "_compute_costs ran despite a warm cache"
+                )
+
+            monkeypatch.setattr(
+                MandelbrotWorkload, "_compute_costs", boom
+            )
+            results = table2.run(width=200, height=100)
+            assert set(results) == set(table2.SCHEMES)
+        finally:
+            cache._active = previous
+
+
+class TestParallelEqualsSerial:
+    def test_table2(self, small_paper_workload):
+        serial = table2.run(workload=small_paper_workload, n_jobs=1)
+        parallel = table2.run(workload=small_paper_workload, n_jobs=2)
+        for scheme in table2.SCHEMES:
+            assert serial[scheme].t_p == parallel[scheme].t_p
+
+    def test_table3(self, small_paper_workload):
+        serial = table3.run(workload=small_paper_workload, n_jobs=1)
+        parallel = table3.run(workload=small_paper_workload, n_jobs=2)
+        for scheme in table3.SCHEMES:
+            assert serial[scheme].t_p == parallel[scheme].t_p
+
+    def test_speedup_figure(self, small_paper_workload):
+        serial = figures.figure4(workload=small_paper_workload,
+                                 n_jobs=1)
+        parallel = figures.figure4(workload=small_paper_workload,
+                                   n_jobs=3)
+        assert serial.series == parallel.series
+
+    def test_window_sweep(self):
+        kwargs = dict(widths=(120, 240), schemes=("TSS", "DTSS"),
+                      height=80)
+        serial = windows.window_sweep(n_jobs=1, **kwargs)
+        parallel = windows.window_sweep(n_jobs=2, **kwargs)
+        assert serial == parallel
+
+    def test_replicated_comparison(self, small_paper_workload):
+        kwargs = dict(schemes=("TSS", "DTSS"), replications=3,
+                      workload=small_paper_workload)
+        serial = replicate.replicated_comparison(n_jobs=1, **kwargs)
+        parallel = replicate.replicated_comparison(n_jobs=2, **kwargs)
+        assert [s.t_ps for s in serial] == [p.t_ps for p in parallel]
+
+
+class TestCliAll:
+    def test_all_covers_every_artifact(self):
+        # The regression this guards: fig2/gantt/windows/ablations/
+        # replicate/validate were silently skipped by the old
+        # `in (..., "all")` dispatch.
+        for artifact in ("fig2", "gantt", "windows", "ablations",
+                         "replicate", "validate"):
+            assert artifact in ALL_ARTIFACTS
+
+    def test_all_runs_every_artifact(self, capsys):
+        assert main(["all", "--width", "120", "--height", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "Table 3" in out
+        assert "Figure 1" in out
+        assert "@" in out  # fig2 ASCII fractal
+        assert "Per-PE timelines" in out  # gantt
+        assert "I=120" in out and "I=240" in out  # windows matrix
+        assert "Figure 7" in out  # figures
+        assert "ACP scale" in out  # ablations
+        assert "load realizations" in out  # replicate
+        assert "Reproduction gate" in out  # validate
+
+    def test_all_reuses_one_workload(self, monkeypatch):
+        calls = []
+        original = MandelbrotWorkload._compute_costs
+
+        def counting(self):
+            calls.append((self.width, self.height))
+            return original(self)
+
+        monkeypatch.setattr(
+            MandelbrotWorkload, "_compute_costs", counting
+        )
+        assert main(["table2", "--width", "140", "--height",
+                     "70"]) == 0
+        # One workload, one whole-grid pass (not one per half/table).
+        assert calls.count((140, 70)) == 1
+
+
+class TestCliFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+
+    def test_jobs_flag_runs(self, capsys):
+        assert main(["table2", "--width", "150", "--height", "80",
+                     "--jobs", "2"]) == 0
+        assert "T_p" in capsys.readouterr().out
+
+    def test_cache_dir_flag_populates_directory(self, tmp_path,
+                                                capsys):
+        previous = cache.get_cache()
+        try:
+            target = tmp_path / "cli-cache"
+            assert main(["table2", "--width", "130", "--height", "70",
+                         "--cache-dir", str(target)]) == 0
+            assert list(target.glob("*.npy"))
+        finally:
+            cache._active = previous
+
+    def test_no_cache_flag_disables_writes(self, tmp_path, capsys):
+        previous = cache.get_cache()
+        try:
+            target = tmp_path / "never-written"
+            assert main(["table2", "--width", "130", "--height", "70",
+                         "--cache-dir", str(target),
+                         "--no-cache"]) == 0
+            assert not target.exists()
+        finally:
+            cache._active = previous

@@ -111,6 +111,56 @@ class TestMultipleDeaths:
         assert result.workers[3].iterations >= 190
 
 
+class TestRequeueOrder:
+    def test_two_lost_intervals_reassigned_in_loop_order(self):
+        # CSS(25) on I=100 with 4 workers: the first wave hands
+        # [0,25) to n0, [25,50) to n1, [50,75) to n2, [75,100) to n3.
+        # n0 and n1 die mid-chunk holding their intervals; n2 (made
+        # slightly faster so it reports back first) and n3 pick up the
+        # requeued work.  The requeue is FIFO, so the survivor that
+        # asks first must receive [0,25) -- the loop-order interval --
+        # not [25,50).
+        wl = UniformWorkload(100)
+        cluster = ClusterSpec(nodes=[
+            NodeSpec(name="n0", speed=100.0, fails_at=0.10),
+            NodeSpec(name="n1", speed=100.0, fails_at=0.11),
+            NodeSpec(name="n2", speed=110.0),
+            NodeSpec(name="n3", speed=100.0),
+        ])
+        result = simulate("CSS(25)", wl, cluster)
+        assert result.total_iterations == 100
+        redone = {
+            rec.start: rec
+            for rec in result.chunks
+            if rec.worker in (2, 3) and rec.start in (0, 25)
+        }
+        assert set(redone) == {0, 25}
+        assert redone[0].assigned_at < redone[25].assigned_at
+        assert redone[0].worker == 2  # the first survivor to ask
+
+    def test_requeue_fifo_under_sequential_deaths(self):
+        # Three deaths, three lost intervals; survivors must drain
+        # them lowest-start-first regardless of death order.
+        wl = UniformWorkload(100)
+        cluster = ClusterSpec(nodes=[
+            NodeSpec(name="n0", speed=100.0, fails_at=0.12),
+            NodeSpec(name="n1", speed=100.0, fails_at=0.11),
+            NodeSpec(name="n2", speed=100.0, fails_at=0.10),
+            NodeSpec(name="n3", speed=100.0),
+        ])
+        result = simulate("CSS(25)", wl, cluster)
+        assert result.total_iterations == 100
+        redone = sorted(
+            (rec for rec in result.chunks
+             if rec.worker == 3 and rec.start < 75),
+            key=lambda rec: rec.assigned_at,
+        )
+        # Deaths happen n2, n1, n0 -- so the requeue receives
+        # [50,75), [25,50), [0,25) in that order, and FIFO hands them
+        # back in exactly that order.
+        assert [rec.start for rec in redone] == [50, 25, 0]
+
+
 class TestValidation:
     def test_negative_fails_at_rejected(self):
         with pytest.raises(SimulationError):

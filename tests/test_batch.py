@@ -1,0 +1,160 @@
+"""Tests for repro.batch: process-parallel experiment fan-out."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.batch import ENV_JOBS, SimJob, batch_keys, resolve_jobs, run_batch
+from repro.core import names
+from repro.experiments import paper_cluster, paper_workload
+from repro.simulation import ClusterSpec, NodeSpec
+from repro.workloads import GaussianPeakWorkload, UniformWorkload
+
+
+@pytest.fixture(scope="module")
+def batch_workload():
+    return paper_workload(width=240, height=120)
+
+
+@pytest.fixture(scope="module")
+def batch_cluster(batch_workload):
+    return paper_cluster(batch_workload, serial_seconds=60.0)
+
+
+def all_scheme_jobs(workload, cluster) -> list[SimJob]:
+    jobs = [
+        SimJob(scheme=scheme, workload=workload, cluster=cluster)
+        for scheme in names()
+    ]
+    jobs.append(SimJob(
+        scheme="TreeS", workload=workload, cluster=cluster,
+        engine="tree", params=dict(weighted=True, grain=8),
+    ))
+    return jobs
+
+
+class TestSimJob:
+    def test_key_is_deterministic(self, batch_workload, batch_cluster):
+        a = SimJob("TSS", batch_workload, batch_cluster)
+        b = SimJob("TSS", paper_workload(width=240, height=120),
+                   paper_cluster(paper_workload(width=240, height=120),
+                                 serial_seconds=60.0))
+        assert a.key == b.key
+
+    def test_key_distinguishes_inputs(self, batch_workload,
+                                      batch_cluster):
+        base = SimJob("TSS", batch_workload, batch_cluster)
+        assert SimJob("FSS", batch_workload, batch_cluster).key \
+            != base.key
+        assert SimJob("TSS", batch_workload, batch_cluster,
+                      tag="x").key != base.key
+        assert SimJob("TSS", batch_workload, batch_cluster,
+                      params=dict(alpha=3.0)).key != base.key
+        other_cluster = paper_cluster(
+            batch_workload, serial_seconds=30.0
+        )
+        assert SimJob("TSS", batch_workload, other_cluster).key \
+            != base.key
+
+    def test_rejects_unknown_engine(self, batch_workload,
+                                    batch_cluster):
+        with pytest.raises(ValueError):
+            SimJob("TSS", batch_workload, batch_cluster,
+                   engine="quantum")
+
+    def test_job_is_picklable(self, batch_workload, batch_cluster):
+        job = SimJob("DTSS", batch_workload, batch_cluster)
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone.key == job.key
+        assert clone.run().t_p == job.run().t_p
+
+    def test_pickle_ships_costs_not_columns(self, batch_workload):
+        batch_workload.costs()
+        clone = pickle.loads(pickle.dumps(batch_workload))
+        # The cost vector travels with the job...
+        assert clone._costs is not None
+        assert np.array_equal(clone.costs(), batch_workload.costs())
+        # ...but the Mandelbrot column memo does not.
+        assert not clone.inner._columns
+
+
+class TestRunBatch:
+    def test_results_in_submission_order(self, batch_workload,
+                                         batch_cluster):
+        jobs = [
+            SimJob(s, batch_workload, batch_cluster)
+            for s in ("TSS", "FSS", "GSS")
+        ]
+        results = run_batch(jobs, n_jobs=1)
+        assert [r.scheme for r in results] == ["TSS", "FSS", "GSS"]
+
+    def test_parallel_equals_serial_for_every_scheme(
+        self, batch_workload, batch_cluster
+    ):
+        jobs = all_scheme_jobs(batch_workload, batch_cluster)
+        serial = run_batch(jobs, n_jobs=1)
+        parallel = run_batch(jobs, n_jobs=4)
+        assert len(serial) == len(parallel) == len(names()) + 1
+        for s, p in zip(serial, parallel):
+            assert s.scheme == p.scheme
+            assert s.t_p == p.t_p
+            assert s.total_chunks == p.total_chunks
+            assert [w.row() for w in s.workers] \
+                == [w.row() for w in p.workers]
+
+    def test_parallel_collect_results_bit_identical(self):
+        wl = GaussianPeakWorkload(120, amplitude=9.0)
+        cluster = ClusterSpec(nodes=[
+            NodeSpec(name=f"n{i}", speed=100.0) for i in range(3)
+        ])
+        jobs = [SimJob("TSS", wl, cluster,
+                       params=dict(collect_results=True))]
+        serial = run_batch(jobs, n_jobs=1)[0]
+        parallel = run_batch(jobs * 2, n_jobs=2)[0]
+        assert np.array_equal(serial.results, parallel.results)
+
+    def test_empty_batch(self):
+        assert run_batch([], n_jobs=4) == []
+
+    def test_rejects_non_jobs(self):
+        with pytest.raises(TypeError):
+            run_batch(["TSS"], n_jobs=1)
+
+    def test_batch_keys_order(self, batch_workload, batch_cluster):
+        jobs = [
+            SimJob(s, batch_workload, batch_cluster)
+            for s in ("TSS", "FSS")
+        ]
+        assert batch_keys(jobs) == [jobs[0].key, jobs[1].key]
+
+    def test_uncacheable_workload_costs_resolved_in_parent(self):
+        wl = UniformWorkload(50, unit=2.0)
+        cluster = ClusterSpec(nodes=[NodeSpec(name="n0", speed=10.0)])
+        results = run_batch(
+            [SimJob("SS", wl, cluster)], n_jobs=1
+        )
+        assert results[0].total_iterations == 50
+        assert wl._costs is not None  # warmed by run_batch
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(1) == 1
+
+    def test_zero_and_none_mean_all_cores(self, monkeypatch):
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "7")
+        assert resolve_jobs(0) == 7
+        assert resolve_jobs(2) == 2  # explicit still wins
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
