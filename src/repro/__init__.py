@@ -36,6 +36,7 @@ Quick start::
 
 from .batch import SimJob, run_batch
 from .cache import CostCache, configure as configure_cache, get_cache
+from .chaos import FaultPlan, run_chaos
 from .core import (
     ChunkAssignment,
     Scheduler,
@@ -47,6 +48,7 @@ from .core import (
 )
 from .experiments.config import paper_cluster, paper_workload
 from .simulation import ClusterSpec, NodeSpec, SimResult, simulate, simulate_tree
+from .verify import AuditError, AuditReport, audit_run, audit_sim
 from .workloads import MandelbrotWorkload, ReorderedWorkload, Workload
 
 __version__ = "1.0.0"
@@ -75,4 +77,10 @@ __all__ = [
     "CostCache",
     "get_cache",
     "configure_cache",
+    "FaultPlan",
+    "run_chaos",
+    "AuditError",
+    "AuditReport",
+    "audit_sim",
+    "audit_run",
 ]

@@ -1,0 +1,338 @@
+"""Replay a :class:`FaultPlan` against the real multiprocessing runtime.
+
+:func:`run_chaos` is the runtime counterpart of
+``simulate(..., chaos=plan)``: the same plan, interpreted on real OS
+processes --
+
+* **death**: the worker's current incarnation is SIGKILLed; the master
+  detects the EOF and requeues the outstanding interval (FIFO, like the
+  simulator);
+* **restart**: a fresh process is spawned for the same worker id and
+  admitted into the running master loop through
+  :class:`~repro.runtime.master.MasterHooks`;
+* **delay / loss**: translated to per-worker ``(at, extra)`` sleeps
+  before the affected request (loss = the retransmission view:
+  one request arrives ``retry_after`` late);
+* **stall**: the master thread itself sleeps, so requests queue behind
+  the stall exactly as in the simulator;
+* **spike**: real ``matrix_add_load`` stressor processes run for the
+  window (uniform background pressure -- per-worker pinning would need
+  CPU affinity).
+
+Plan times are wall-clock seconds after the run starts; use
+``plan.scaled(...)`` (or the ``time_scale`` argument) to map a
+virtual-time plan onto a wall-clock budget.
+
+Whatever the plan does, the contract is the simulator's: the returned
+``RunResult.results`` must equal ``workload.execute_serial()`` bit for
+bit, and the trace must pass :func:`repro.verify.audit_run` -- the
+cross-substrate acceptance test in ``tests/chaos/`` holds both engines
+to the same seeded plans.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+from typing import Optional, Sequence
+
+from ..core import Scheduler, make
+from ..core.acp import IMPROVED_ACP, AcpModel
+from ..runtime.config import RuntimeConfig
+from ..runtime.executor import RunResult, assemble_results
+from ..runtime.master import MasterHooks, MasterResult, master_loop
+from ..runtime.worker import WorkerSpec, worker_main
+from ..workloads import Workload, matrix_add_load
+from .plan import ChaosError, FaultPlan
+
+__all__ = ["ChaosController", "run_chaos"]
+
+
+class ChaosController(MasterHooks):
+    """Drives a fault plan from a side thread while the master serves.
+
+    The controller owns the worker processes: it kills them on plan
+    deaths, spawns replacements on restarts (handing the new pipe to
+    the master via :meth:`admissions`), runs stressors for load spikes,
+    and sleeps the master thread for stalls (:meth:`on_tick` runs on
+    the master thread, so the sleep *is* the stall).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        ctx,
+        workload: Workload,
+        specs: Sequence[WorkerSpec],
+        distributed: bool,
+        acp_model: AcpModel,
+        config: RuntimeConfig,
+        stress_size: int = 200,
+    ) -> None:
+        self.plan = plan
+        self.ctx = ctx
+        self.workload = workload
+        self.specs = list(specs)
+        self.distributed = distributed
+        self.acp_model = acp_model
+        self.config = config
+        self.stress_size = int(stress_size)
+        self._lock = threading.Lock()
+        self._procs: dict[int, mp.process.BaseProcess] = {}
+        self._spawned: list[mp.process.BaseProcess] = []
+        self._admissions: list[tuple[int, object, Optional[tuple]]] = []
+        self._pending_restarts = 0
+        self._stalls = sorted(
+            ((ev.at, ev.duration) for ev in self.plan.stalls),
+        )
+        self._stress_stop = ctx.Event()
+        self._stressors: list[mp.process.BaseProcess] = []
+        self._thread: Optional[threading.Thread] = None
+        self._abort = threading.Event()
+        self._t0 = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def delays_for(self, worker: int) -> list[tuple[float, float]]:
+        """The worker's delay/loss faults as ``(at, extra)`` sleeps."""
+        return [
+            (at, extra)
+            for at, _kind, extra in self.plan.message_faults(worker)
+        ]
+
+    def spawn_worker(self, wid: int, initial: bool):
+        """Create (pipe, process) for one worker incarnation."""
+        parent, child = self.ctx.Pipe()
+        proc = self.ctx.Process(
+            target=worker_main,
+            args=(child, self.workload, wid),
+            kwargs={
+                "spec": self.specs[wid],
+                "distributed": self.distributed,
+                "acp_model": self.acp_model,
+                "heartbeat_interval": self.config.heartbeat_interval,
+                # Message faults apply to the original incarnation; a
+                # restarted process starts with a clean wire.
+                "delays": self.delays_for(wid) if initial else None,
+            },
+            daemon=True,
+        )
+        return parent, proc
+
+    def start(self, t0: float, procs: dict) -> None:
+        """Arm the fault thread; ``procs`` maps wid -> live process."""
+        self._t0 = t0
+        self._procs = dict(procs)
+        self._spawned = list(procs.values())
+        self._pending_restarts = len(
+            [ev for ev in self.plan.restarts]
+        )
+        self._thread = threading.Thread(
+            target=self._drive, daemon=True
+        )
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        """Stop fault driving and stressors; kill leftover processes."""
+        self._abort.set()
+        self._stress_stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.config.join_timeout)
+        for proc in self._stressors:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hang guard
+                proc.terminate()
+        self._stressors.clear()
+
+    @property
+    def processes(self) -> list:
+        """Every process ever spawned (for the executor's join loop)."""
+        with self._lock:
+            return list(self._spawned)
+
+    # -- MasterHooks -------------------------------------------------------
+
+    def on_tick(self) -> None:
+        # Stalls run on the master thread: while it sleeps, requests
+        # queue -- the runtime realization of the simulated stall.
+        now = time.monotonic() - self._t0
+        while self._stalls and self._stalls[0][0] <= now:
+            _at, duration = self._stalls.pop(0)
+            time.sleep(duration)
+
+    def admissions(self):
+        with self._lock:
+            batch = self._admissions
+            self._admissions = []
+            self._pending_restarts -= len(batch)
+        return batch
+
+    def expects_more(self) -> bool:
+        with self._lock:
+            return self._pending_restarts > 0
+
+    # -- fault thread ------------------------------------------------------
+
+    def _sleep_until(self, at: float) -> bool:
+        """Sleep to plan time ``at``; False if the run ended first."""
+        remaining = (self._t0 + at) - time.monotonic()
+        while remaining > 0:
+            if self._abort.wait(min(remaining, 0.05)):
+                return False
+            remaining = (self._t0 + at) - time.monotonic()
+        return not self._abort.is_set()
+
+    def _drive(self) -> None:
+        # Deaths, restarts and spike starts in one time-ordered script;
+        # spikes release their stressors via the shared stop event when
+        # their window closes.
+        script = []
+        for ev in self.plan.deaths:
+            script.append((ev.at, "death", ev))
+        for ev in self.plan.restarts:
+            script.append((ev.at, "restart", ev))
+        for ev in self.plan.spikes:
+            script.append((ev.at, "spike", ev))
+        script.sort(key=lambda item: item[0])
+        spike_ends: list[float] = []
+        for at, kind, ev in script:
+            if not self._sleep_until(at):
+                break
+            if kind == "death":
+                self._kill(ev.worker)
+            elif kind == "restart":
+                self._restart(ev.worker)
+            elif kind == "spike":
+                self._spike(ev)
+                spike_ends.append(ev.at + ev.duration)
+        for end in sorted(spike_ends):
+            if not self._sleep_until(end):
+                break
+        self._stress_stop.set()
+
+    def _kill(self, wid: int) -> None:
+        with self._lock:
+            proc = self._procs.get(wid)
+        if proc is None or proc.pid is None:
+            return
+        if proc.is_alive():
+            try:
+                os.kill(proc.pid, signal.SIGKILL)
+            except ProcessLookupError:  # pragma: no cover - lost race
+                return
+        proc.join(timeout=self.config.join_timeout)
+
+    def _restart(self, wid: int) -> None:
+        parent, proc = self.spawn_worker(wid, initial=False)
+        proc.start()
+        spec = self.specs[wid]
+        with self._lock:
+            self._procs[wid] = proc
+            self._spawned.append(proc)
+            self._admissions.append(
+                (wid, parent, (spec.virtual_power, spec.run_queue))
+            )
+
+    def _spike(self, ev) -> None:
+        for i in range(ev.extra_q):
+            proc = self.ctx.Process(
+                target=matrix_add_load,
+                args=(self._stress_stop,),
+                kwargs={"size": self.stress_size, "seed": i},
+                daemon=True,
+            )
+            proc.start()
+            self._stressors.append(proc)
+
+
+def run_chaos(
+    scheme: str | Scheduler,
+    workload: Workload,
+    n_workers: int,
+    plan: FaultPlan,
+    specs: Optional[Sequence[WorkerSpec]] = None,
+    acp_model: AcpModel = IMPROVED_ACP,
+    collect_results: bool = True,
+    mp_context: str = "fork",
+    config: Optional[RuntimeConfig] = None,
+    time_scale: float = 1.0,
+    stress_size: int = 200,
+    **scheme_kwargs,
+) -> RunResult:
+    """Run ``workload`` under ``scheme`` while injecting ``plan``.
+
+    The mirror image of ``simulate(..., chaos=plan)`` on real
+    processes; see the module docstring for the per-fault semantics.
+    Raises :class:`~repro.runtime.master.IncompleteRunError` if the
+    plan kills every worker with no restart ahead (the runtime analogue
+    of the simulator's all-dead ``SimulationError``).
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if plan.max_worker >= n_workers:
+        raise ChaosError(
+            f"fault plan targets worker {plan.max_worker} but the run "
+            f"has {n_workers} workers"
+        )
+    if time_scale != 1.0:
+        plan = plan.scaled(time_scale)
+    specs = list(specs or [])
+    while len(specs) < n_workers:
+        specs.append(WorkerSpec())
+    scheduler = (
+        make(scheme, workload.size, n_workers, **scheme_kwargs)
+        if isinstance(scheme, str)
+        else scheme
+    )
+    base = config or RuntimeConfig.from_env()
+    # Fast polling keeps death detection and restart admission snappy
+    # relative to plan timescales (callers can still override).
+    config = dataclasses.replace(
+        base, poll_timeout=min(base.poll_timeout, 0.25)
+    )
+    ctx = mp.get_context(mp_context)
+    controller = ChaosController(
+        plan, ctx, workload, specs, scheduler.distributed, acp_model,
+        config, stress_size=stress_size,
+    )
+    pipes = {}
+    procs = {}
+    for wid in range(n_workers):
+        parent, proc = controller.spawn_worker(wid, initial=True)
+        pipes[wid] = parent
+        procs[wid] = proc
+    t0 = time.monotonic()
+    wall0 = time.perf_counter()
+    for proc in procs.values():
+        proc.start()
+    controller.start(t0, procs)
+    meta = {
+        wid: (specs[wid].virtual_power, specs[wid].run_queue)
+        for wid in range(n_workers)
+    }
+    try:
+        master: MasterResult = master_loop(
+            scheduler, pipes, meta, config=config, hooks=controller
+        )
+    finally:
+        controller.shutdown()
+        for proc in controller.processes:
+            proc.join(timeout=config.join_timeout)
+            if proc.is_alive():  # pragma: no cover - hang guard
+                proc.terminate()
+    elapsed = time.perf_counter() - wall0
+    combined = (
+        assemble_results(master.results) if collect_results else None
+    )
+    return RunResult(
+        scheme=scheduler.name,
+        elapsed=elapsed,
+        results=combined,
+        stats=master.stats,
+        chunks=master.chunks,
+        requeued=master.requeued,
+    )

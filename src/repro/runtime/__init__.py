@@ -1,19 +1,39 @@
 """Real master--worker execution on OS processes (the mpi4py-style
 substrate; see DESIGN.md for the MPI substitution argument)."""
 
+from .config import DEFAULT_CONFIG, RuntimeConfig
 from .estimator import estimate_virtual_powers, probe_seconds_per_iteration
-from .executor import BackgroundLoad, RunResult, run_parallel, run_serial
-from .master import MasterResult, master_loop
+from .executor import (
+    BackgroundLoad,
+    RunResult,
+    assemble_results,
+    run_parallel,
+    run_serial,
+)
+from .master import (
+    IncompleteRunError,
+    MasterHooks,
+    MasterResult,
+    WorkerTimeoutError,
+    master_loop,
+)
 from .mpi import have_mpi, run_mpi
-from .messages import Assign, Request, Terminate, WorkerStats
+from .messages import Assign, Heartbeat, Request, Terminate, WorkerStats
 from .serial import best_of, time_serial
 from .worker import WorkerSpec, worker_main
 
 __all__ = [
     "Assign",
+    "Heartbeat",
     "Request",
     "Terminate",
     "WorkerStats",
+    "RuntimeConfig",
+    "DEFAULT_CONFIG",
+    "MasterHooks",
+    "IncompleteRunError",
+    "WorkerTimeoutError",
+    "assemble_results",
     "WorkerSpec",
     "worker_main",
     "MasterResult",

@@ -1,0 +1,134 @@
+"""Runtime tuning knobs, with environment overrides.
+
+The master's poll timeout used to be a magic ``wait(..., timeout=5.0)``
+buried in :mod:`repro.runtime.master`; every timing behaviour of the
+runtime now lives here, documented, defaulted, and overridable both
+programmatically (pass a :class:`RuntimeConfig`) and operationally
+(environment variables, read by :meth:`RuntimeConfig.from_env`):
+
+``REPRO_POLL_TIMEOUT``
+    Seconds :func:`multiprocessing.connection.wait` blocks per poll
+    (default 5.0).  Smaller values detect dead workers faster and admit
+    chaos-restarted workers sooner, at the cost of more wakeups.
+``REPRO_WORKER_DEADLINE``
+    Seconds of total silence (no request, no heartbeat) after which a
+    worker is declared dead and its outstanding interval is requeued
+    (default 120).  ``0`` or negative disables the deadline.
+``REPRO_HEARTBEAT_INTERVAL``
+    Seconds between worker heartbeats (default 2.0).  Heartbeats let a
+    worker stay "alive" through a long chunk; without them the deadline
+    must exceed the longest chunk.  ``0`` or negative disables them.
+``REPRO_JOIN_TIMEOUT``
+    Seconds the executor waits for worker processes to exit (default
+    30).
+``REPRO_RESTART_BACKOFF``
+    Seconds the master sleeps between checks while no worker is
+    connected but a (chaos) restart is still expected (default 0.05).
+
+Values are validated; a deadline shorter than the heartbeat interval is
+rejected because every worker would time out by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Optional
+
+__all__ = ["RuntimeConfig", "DEFAULT_CONFIG"]
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name} must be a number, got {raw!r}"
+        ) from None
+
+
+def _disable_if_nonpositive(value: Optional[float]) -> Optional[float]:
+    if value is not None and value <= 0:
+        return None
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeConfig(object):
+    """Timing knobs for the multiprocessing runtime (see module doc)."""
+
+    poll_timeout: float = 5.0
+    worker_deadline: Optional[float] = 120.0
+    heartbeat_interval: Optional[float] = 2.0
+    join_timeout: float = 30.0
+    restart_backoff: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not (self.poll_timeout > 0):
+            raise ValueError(
+                f"poll_timeout must be > 0, got {self.poll_timeout}"
+            )
+        if self.worker_deadline is not None \
+                and not (self.worker_deadline > 0):
+            raise ValueError(
+                "worker_deadline must be > 0 or None (disabled), got "
+                f"{self.worker_deadline}"
+            )
+        if self.heartbeat_interval is not None \
+                and not (self.heartbeat_interval > 0):
+            raise ValueError(
+                "heartbeat_interval must be > 0 or None (disabled), got "
+                f"{self.heartbeat_interval}"
+            )
+        if not (self.join_timeout > 0):
+            raise ValueError(
+                f"join_timeout must be > 0, got {self.join_timeout}"
+            )
+        if not (self.restart_backoff > 0):
+            raise ValueError(
+                f"restart_backoff must be > 0, got {self.restart_backoff}"
+            )
+        if self.worker_deadline is not None \
+                and self.heartbeat_interval is not None \
+                and self.worker_deadline <= self.heartbeat_interval:
+            raise ValueError(
+                f"worker_deadline ({self.worker_deadline}) must exceed "
+                f"heartbeat_interval ({self.heartbeat_interval}), or "
+                f"every worker would miss its deadline by construction"
+            )
+
+    @classmethod
+    def from_env(cls, **overrides) -> "RuntimeConfig":
+        """Defaults, overlaid with ``REPRO_*`` env vars, then kwargs.
+
+        ``REPRO_WORKER_DEADLINE=0`` / ``REPRO_HEARTBEAT_INTERVAL=0``
+        (or any non-positive value) disable the corresponding feature.
+        """
+        values: dict = {}
+        poll = _env_float("REPRO_POLL_TIMEOUT")
+        if poll is not None:
+            values["poll_timeout"] = poll
+        deadline = _env_float("REPRO_WORKER_DEADLINE")
+        if deadline is not None:
+            values["worker_deadline"] = _disable_if_nonpositive(deadline)
+        heartbeat = _env_float("REPRO_HEARTBEAT_INTERVAL")
+        if heartbeat is not None:
+            values["heartbeat_interval"] = (
+                _disable_if_nonpositive(heartbeat)
+            )
+        join = _env_float("REPRO_JOIN_TIMEOUT")
+        if join is not None:
+            values["join_timeout"] = join
+        backoff = _env_float("REPRO_RESTART_BACKOFF")
+        if backoff is not None:
+            values["restart_backoff"] = backoff
+        values.update(overrides)
+        return cls(**values)
+
+
+#: Module-level default (environment not consulted; use
+#: :meth:`RuntimeConfig.from_env` for operational overrides).
+DEFAULT_CONFIG = RuntimeConfig()

@@ -22,7 +22,8 @@ import numpy as np
 from ..core import Scheduler, make
 from ..core.acp import IMPROVED_ACP, AcpModel
 from ..workloads import Workload, matrix_add_load
-from .master import MasterResult, master_loop
+from .config import RuntimeConfig
+from .master import MasterHooks, MasterResult, master_loop
 from .messages import WorkerStats
 from .worker import WorkerSpec, worker_main
 
@@ -60,6 +61,9 @@ def run_parallel(
     acp_model: AcpModel = IMPROVED_ACP,
     collect_results: bool = True,
     mp_context: str = "fork",
+    config: Optional[RuntimeConfig] = None,
+    hooks: Optional[MasterHooks] = None,
+    worker_delays: Optional[dict[int, list[tuple[float, float]]]] = None,
     **scheme_kwargs,
 ) -> RunResult:
     """Run ``workload`` under ``scheme`` on ``n_workers`` processes.
@@ -69,6 +73,10 @@ def run_parallel(
     Results are reassembled in iteration order, so
     ``np.array_equal(run.results, workload.execute_serial())`` holds for
     any scheme -- the runtime's core correctness property.
+
+    ``config`` tunes polling/heartbeat/deadline behaviour (defaults to
+    :meth:`RuntimeConfig.from_env`); ``hooks`` and ``worker_delays``
+    are the chaos entry points (see :func:`repro.chaos.run_chaos`).
     """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -80,6 +88,8 @@ def run_parallel(
         if isinstance(scheme, str)
         else scheme
     )
+    config = config or RuntimeConfig.from_env()
+    worker_delays = worker_delays or {}
     ctx = mp.get_context(mp_context)
     pipes = {}
     processes = []
@@ -93,6 +103,8 @@ def run_parallel(
                 "spec": specs[wid],
                 "distributed": scheduler.distributed,
                 "acp_model": acp_model,
+                "heartbeat_interval": config.heartbeat_interval,
+                "delays": worker_delays.get(wid),
             },
             daemon=True,
         )
@@ -104,10 +116,12 @@ def run_parallel(
         wid: (specs[wid].virtual_power, specs[wid].run_queue)
         for wid in range(n_workers)
     }
-    master: MasterResult = master_loop(scheduler, pipes, meta)
+    master: MasterResult = master_loop(
+        scheduler, pipes, meta, config=config, hooks=hooks
+    )
     elapsed = time.perf_counter() - t0
     for proc in processes:
-        proc.join(timeout=30.0)
+        proc.join(timeout=config.join_timeout)
         if proc.is_alive():  # pragma: no cover - hang guard
             proc.terminate()
     combined: Optional[np.ndarray] = None
@@ -126,6 +140,18 @@ def run_parallel(
         stats=master.stats,
         chunks=master.chunks,
         requeued=master.requeued,
+    )
+
+
+def assemble_results(
+    master_results: list[tuple[int, object]],
+) -> np.ndarray:
+    """Reassemble piggy-backed ``(start, payload)`` pairs serially."""
+    ordered = sorted(master_results, key=lambda pair: pair[0])
+    return (
+        np.concatenate([np.atleast_1d(np.asarray(r)) for _, r in ordered])
+        if ordered
+        else np.zeros(0)
     )
 
 

@@ -4,23 +4,89 @@ The master multiplexes worker pipes with
 :func:`multiprocessing.connection.wait` (the select-style idiom), feeds
 each request through the scheduler, and collects piggy-backed results.
 
-Fault tolerance beyond the paper: if a worker dies mid-chunk (its pipe
-reports EOF), the master *requeues* the outstanding interval and hands
-it to the next requester before consulting the scheduler, so a run
-completes despite worker loss -- exercised by the failure-injection
-tests.
+Fault tolerance beyond the paper -- the same fail-stop semantics the
+simulator implements (see ``docs/fault_model.md``):
+
+* if a worker dies mid-chunk (its pipe reports EOF, or it misses its
+  liveness deadline), the master *requeues* the outstanding interval in
+  a FIFO deque -- exactly like the simulator's ``_requeue`` -- and hands
+  it to the next requester before consulting the scheduler, so a run
+  completes despite worker loss;
+* a worker that runs dry while a peer still holds an outstanding chunk
+  is *parked*, not terminated: if the peer dies, the parked worker
+  recomputes the lost interval (the simulator parks identically);
+* workers send :class:`~repro.runtime.messages.Heartbeat` messages from
+  a side thread, so the deadline (``RuntimeConfig.worker_deadline``)
+  distinguishes a long chunk from a dead process;
+* chaos restarts enter through :class:`MasterHooks` admissions -- the
+  loop keeps serving while a restart is still expected even if no
+  worker is currently connected.
+
+Timing knobs live in :class:`repro.runtime.config.RuntimeConfig`; the
+old hard-coded ``wait(..., timeout=5.0)`` is now
+``RuntimeConfig.poll_timeout`` / ``REPRO_POLL_TIMEOUT``.
+
+The loop *raises* instead of silently returning a partial result:
+:class:`WorkerTimeoutError` when deadline expiry leaves the run unable
+to proceed, :class:`IncompleteRunError` when every pipe is gone but
+iterations are still outstanding.
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
+import time
 from multiprocessing.connection import wait
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from ..core import Scheduler, WorkerView
-from .messages import Assign, Request, Terminate, WorkerStats
+from .config import RuntimeConfig
+from .messages import Assign, Heartbeat, Request, Terminate, WorkerStats
 
-__all__ = ["MasterResult", "master_loop"]
+__all__ = [
+    "MasterResult",
+    "MasterHooks",
+    "IncompleteRunError",
+    "WorkerTimeoutError",
+    "master_loop",
+]
+
+
+class IncompleteRunError(RuntimeError):
+    """Every worker is gone but iterations are still outstanding."""
+
+
+class WorkerTimeoutError(IncompleteRunError):
+    """A worker went silent past ``RuntimeConfig.worker_deadline``.
+
+    Raised only when the expiry leaves the run unable to complete
+    (otherwise the worker is dropped, its interval requeued, and the
+    run continues on the survivors).
+    """
+
+
+class MasterHooks(object):
+    """Extension points the master consults every loop iteration.
+
+    The base implementation is inert; :class:`repro.chaos.run_chaos`
+    subclasses it to inject faults and re-admit restarted workers.
+    """
+
+    def on_tick(self) -> None:
+        """Called once per loop iteration, before polling."""
+
+    def admissions(self) -> Iterable[tuple[int, Any, Optional[tuple]]]:
+        """New ``(worker_id, connection, meta)`` entries to serve.
+
+        ``meta`` is ``(virtual_power, run_queue)`` or None.
+        """
+        return ()
+
+    def expects_more(self) -> bool:
+        """True while more admissions may still arrive; keeps the loop
+        alive when no worker is currently connected."""
+        return False
 
 
 @dataclasses.dataclass
@@ -31,6 +97,7 @@ class MasterResult(object):
     stats: dict[int, WorkerStats]
     chunks: list[tuple[int, int, int]]  # (worker_id, start, stop)
     requeued: int = 0  # chunks reassigned after a worker death
+    timeouts: int = 0  # workers dropped for missing their deadline
 
     def assigned_iterations(self) -> int:
         return sum(stop - start for _, start, stop in self.chunks)
@@ -40,6 +107,8 @@ def master_loop(
     scheduler: Scheduler,
     connections: dict[int, Any],
     worker_meta: Optional[dict[int, tuple[float, int]]] = None,
+    config: Optional[RuntimeConfig] = None,
+    hooks: Optional[MasterHooks] = None,
 ) -> MasterResult:
     """Serve requests until the loop completes and workers terminate.
 
@@ -47,52 +116,92 @@ def master_loop(
     ``worker_meta`` maps worker id -> ``(virtual_power, run_queue)`` for
     the :class:`WorkerView` (defaults to ``(1.0, 1)``).
     """
-    worker_meta = worker_meta or {}
+    config = config or RuntimeConfig.from_env()
+    hooks = hooks or MasterHooks()
+    worker_meta = dict(worker_meta or {})
     live = dict(connections)
     outstanding: dict[int, tuple[int, int]] = {}
-    requeue: list[tuple[int, int]] = []
+    #: FIFO of intervals lost to worker deaths -- first lost, first
+    #: reassigned (loop order), mirroring the simulator's deque.
+    requeue: collections.deque[tuple[int, int]] = collections.deque()
+    #: workers idle-waiting because a failing peer may return work.
+    parked: list[int] = []
     results: list[tuple[int, Any]] = []
     stats: dict[int, WorkerStats] = {}
     chunks: list[tuple[int, int, int]] = []
+    last_seen: dict[int, float] = {
+        wid: time.monotonic() for wid in live
+    }
     requeued = 0
+    timeouts = 0
+
+    def send_assignment(wid: int, assignment: tuple[int, int]) -> None:
+        conn = live.get(wid)
+        if conn is None:
+            requeue.append(assignment)
+            return
+        try:
+            outstanding[wid] = assignment
+            chunks.append((wid, assignment[0], assignment[1]))
+            conn.send(Assign(*assignment))
+        except (BrokenPipeError, OSError):
+            drop_worker(wid)
+
+    def send_terminate(wid: int) -> None:
+        conn = live.pop(wid, None)
+        last_seen.pop(wid, None)
+        if conn is None:
+            return
+        try:
+            conn.send(Terminate())
+        except (BrokenPipeError, OSError):
+            pass
 
     def handle_request(wid: int, req: Request) -> None:
         nonlocal requeued
         if req.result is not None:
             results.append(req.result)
+            outstanding.pop(wid, None)
+        else:
+            stale = outstanding.pop(wid, None)
+            if stale is not None:
+                # A first request (no piggy-backed result) from an id
+                # with an outstanding chunk means a restarted
+                # incarnation: the old one died holding `stale`.
+                for i in range(len(chunks) - 1, -1, -1):
+                    if chunks[i] == (wid, stale[0], stale[1]):
+                        del chunks[i]
+                        break
+                requeue.append(stale)
         if req.stats is not None:
             stats[wid] = req.stats
-        outstanding.pop(wid, None)
+        if requeue:
+            requeued += 1
+            send_assignment(wid, requeue.popleft())
+            return
         vp, rq = worker_meta.get(wid, (1.0, 1))
         view = WorkerView(
             worker_id=wid, virtual_power=vp, run_queue=rq, acp=req.acp
         )
-        if requeue:
-            start, stop = requeue.pop()
-            requeued += 1
-            assignment = (start, stop)
+        chunk = scheduler.next_chunk(view)
+        if chunk is not None:
+            send_assignment(wid, (chunk.start, chunk.stop))
+        elif outstanding or hooks.expects_more():
+            # Work may reappear if a peer dies (or a chaos restart
+            # brings one back): park this worker instead of terminating
+            # it -- the simulator parks in the same situation.
+            parked.append(wid)
         else:
-            chunk = scheduler.next_chunk(view)
-            assignment = (chunk.start, chunk.stop) if chunk else None
-        conn = live.get(wid)
-        if conn is None:
-            if assignment is not None:
-                requeue.append(assignment)
-            return
-        try:
-            if assignment is None:
-                conn.send(Terminate())
-                live.pop(wid, None)
-            else:
-                outstanding[wid] = assignment
-                chunks.append((wid, assignment[0], assignment[1]))
-                conn.send(Assign(*assignment))
-        except (BrokenPipeError, OSError):
-            drop_worker(wid)
+            send_terminate(wid)
+            # The request that emptied `outstanding` releases every
+            # parked peer immediately (no poll-timeout lag).
+            drain_parked()
 
     def drop_worker(wid: int) -> None:
-        nonlocal requeued
         live.pop(wid, None)
+        last_seen.pop(wid, None)
+        if wid in parked:
+            parked.remove(wid)
         lost = outstanding.pop(wid, None)
         if lost is not None:
             # Remove the lost chunk from the log; it will re-enter when
@@ -102,13 +211,71 @@ def master_loop(
                     del chunks[i]
                     break
             requeue.append(lost)
+        drain_parked()
 
-    while live:
-        ready = wait(list(live.values()), timeout=5.0)
+    def drain_parked() -> None:
+        nonlocal requeued
+        while requeue and parked:
+            wid = parked.pop(0)
+            if wid not in live:
+                continue
+            requeued += 1
+            send_assignment(wid, requeue.popleft())
+        if not requeue and not outstanding and scheduler.finished \
+                and not hooks.expects_more():
+            for wid in list(parked):
+                send_terminate(wid)
+            parked.clear()
+
+    def enforce_deadlines() -> None:
+        nonlocal timeouts
+        if config.worker_deadline is None:
+            return
+        now = time.monotonic()
+        overdue = [
+            wid for wid, seen in list(last_seen.items())
+            if now - seen > config.worker_deadline
+        ]
+        for wid in overdue:
+            conn = live.get(wid)
+            timeouts += 1
+            drop_worker(wid)
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - platform noise
+                    pass
+        if overdue and not live and not hooks.expects_more():
+            raise WorkerTimeoutError(
+                f"worker(s) {sorted(overdue)} sent no message for more "
+                f"than worker_deadline={config.worker_deadline}s and no "
+                f"worker remains; raise RuntimeConfig.worker_deadline "
+                f"(REPRO_WORKER_DEADLINE) or check the heartbeat "
+                f"interval ({config.heartbeat_interval})"
+            )
+
+    while live or hooks.expects_more():
+        hooks.on_tick()
+        for wid, conn, meta in hooks.admissions():
+            if wid in live or wid in outstanding:
+                # A restarted incarnation re-uses the id: whatever the
+                # old incarnation still held died with it -- requeue it
+                # before the replacement pipe masks the EOF.
+                drop_worker(wid)
+            live[wid] = conn
+            last_seen[wid] = time.monotonic()
+            if meta is not None:
+                worker_meta[wid] = meta
+        drain_parked()
+        if not live:
+            time.sleep(config.restart_backoff)
+            continue
+        ready = wait(list(live.values()), timeout=config.poll_timeout)
         if not ready:
-            # No traffic: if every live worker is idle-waiting this
-            # would be a protocol bug; keep polling (workers may just be
-            # computing long chunks).
+            # No traffic for a full poll: workers may just be computing
+            # long chunks -- that is what heartbeats and the liveness
+            # deadline disambiguate.
+            enforce_deadlines()
             continue
         conn_to_wid = {id(c): w for w, c in live.items()}
         for conn in ready:
@@ -120,9 +287,24 @@ def master_loop(
             except (EOFError, OSError):
                 drop_worker(wid)
                 continue
+            last_seen[wid] = time.monotonic()
+            if isinstance(msg, Heartbeat):
+                continue
             if isinstance(msg, Request):
                 handle_request(wid, msg)
 
+    if requeue or not scheduler.finished:
+        missing = sum(stop - start for start, stop in requeue)
+        raise IncompleteRunError(
+            f"every worker is gone but the loop is not covered: "
+            f"{missing} requeued iterations"
+            + ("" if scheduler.finished else
+               " and the scheduler still holds unassigned work")
+        )
     return MasterResult(
-        results=results, stats=stats, chunks=chunks, requeued=requeued
+        results=results,
+        stats=stats,
+        chunks=chunks,
+        requeued=requeued,
+        timeouts=timeouts,
     )

@@ -15,7 +15,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Optional
 
-__all__ = ["Request", "Assign", "Terminate", "WorkerStats"]
+__all__ = ["Request", "Assign", "Terminate", "Heartbeat", "WorkerStats"]
 
 
 @dataclasses.dataclass
@@ -66,3 +66,16 @@ class Assign(object):
 @dataclasses.dataclass
 class Terminate(object):
     """Master -> worker: no more work; send final stats and exit."""
+
+
+@dataclasses.dataclass
+class Heartbeat(object):
+    """Worker -> master: "still alive" (sent from a side thread).
+
+    Carries no payload beyond the sender's id; the master only refreshes
+    the worker's liveness clock (see ``RuntimeConfig.worker_deadline``).
+    Heartbeats let a worker survive its deadline through an arbitrarily
+    long chunk without the master mistaking computation for death.
+    """
+
+    worker_id: int

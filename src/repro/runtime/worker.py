@@ -21,12 +21,13 @@ processes started by the executor.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..core.acp import IMPROVED_ACP, AcpModel
 from ..workloads import Workload
-from .messages import Assign, Request, Terminate, WorkerStats
+from .messages import Assign, Heartbeat, Request, Terminate, WorkerStats
 
 __all__ = ["WorkerSpec", "worker_main"]
 
@@ -82,8 +83,22 @@ def worker_main(
     spec: Optional[WorkerSpec] = None,
     distributed: bool = False,
     acp_model: AcpModel = IMPROVED_ACP,
+    heartbeat_interval: Optional[float] = None,
+    delays: Optional[Sequence[tuple[float, float]]] = None,
 ) -> None:
-    """Run the request/compute loop until Terminate (process target)."""
+    """Run the request/compute loop until Terminate (process target).
+
+    ``heartbeat_interval`` starts a daemon thread that sends a
+    :class:`Heartbeat` every that-many seconds, so the master's
+    liveness deadline survives long chunks (see
+    :class:`repro.runtime.config.RuntimeConfig`).
+
+    ``delays`` is a list of ``(at, extra)`` pairs (seconds since worker
+    start): before the first request sent at/after ``at``, the worker
+    sleeps ``extra`` seconds -- how chaos message delay/loss faults
+    reach the real runtime (a lost datagram and its retransmission look
+    identical to the protocol: one late request).
+    """
     spec = spec or WorkerSpec()
     stats = WorkerStats()
     acp = (
@@ -92,13 +107,38 @@ def worker_main(
         else None
     )
     pending: Optional[tuple[int, object]] = None
+    # Heartbeats come from a side thread while the main loop computes;
+    # the lock keeps the pipe's send side single-writer.
+    send_lock = threading.Lock()
+    stop_heartbeat = threading.Event()
+    heartbeat_thread = None
+    if heartbeat_interval is not None and heartbeat_interval > 0:
+        def _beat() -> None:
+            while not stop_heartbeat.wait(heartbeat_interval):
+                with send_lock:
+                    if stop_heartbeat.is_set():
+                        return
+                    try:
+                        conn.send(Heartbeat(worker_id=worker_id))
+                    except (OSError, ValueError, BrokenPipeError):
+                        return
+
+        heartbeat_thread = threading.Thread(target=_beat, daemon=True)
+        heartbeat_thread.start()
+    pending_delays = sorted(delays) if delays else []
+    born = time.perf_counter()
     try:
         while True:
+            while pending_delays \
+                    and time.perf_counter() - born >= pending_delays[0][0]:
+                _at, extra = pending_delays.pop(0)
+                time.sleep(extra)
             sent_at = time.perf_counter()
-            conn.send(
-                Request(worker_id=worker_id, acp=acp, result=pending,
-                        stats=stats)
-            )
+            with send_lock:
+                conn.send(
+                    Request(worker_id=worker_id, acp=acp, result=pending,
+                            stats=stats)
+                )
             pending = None
             msg = conn.recv()
             stats.wait_seconds += time.perf_counter() - sent_at
@@ -118,4 +158,7 @@ def worker_main(
         # master side handles reassignment of any outstanding chunk.
         pass
     finally:
+        stop_heartbeat.set()
+        if heartbeat_thread is not None:
+            heartbeat_thread.join(timeout=1.0)
         conn.close()

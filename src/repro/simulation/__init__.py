@@ -13,6 +13,7 @@ from .events import Event, EventQueue, SimulationError
 from .loadgen import (
     ConstantLoad,
     LoadTrace,
+    OverlayLoad,
     PeriodicLoad,
     RandomLoad,
     StepLoad,
@@ -33,6 +34,7 @@ __all__ = [
     "LoadTrace",
     "ConstantLoad",
     "StepLoad",
+    "OverlayLoad",
     "PeriodicLoad",
     "RandomLoad",
     "integrate_compute",

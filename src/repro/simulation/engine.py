@@ -46,7 +46,7 @@ from ..core.acp import IMPROVED_ACP, AcpModel
 from ..workloads import Workload
 from .cluster import ClusterSpec, NodeSpec
 from .events import EventQueue, SimulationError
-from .loadgen import integrate_compute
+from .loadgen import OverlayLoad, integrate_compute
 from .metrics import ChunkRecord, SimResult, WorkerMetrics
 
 __all__ = [
@@ -89,19 +89,45 @@ def make_for_cluster(
     return sched
 
 
+def _overlay_load_spikes(cluster: ClusterSpec, chaos) -> ClusterSpec:
+    """A copy of ``cluster`` with the plan's LoadSpikes overlaid.
+
+    The caller's spec is never mutated: affected nodes are replaced
+    with copies whose trace is an :class:`OverlayLoad`.
+    """
+    windows: dict[int, list[tuple[float, float, int]]] = {}
+    for ev in chaos.events:
+        if ev.kind == "spike":
+            windows.setdefault(ev.worker, []).append(
+                (ev.at, ev.at + ev.duration, ev.extra_q)
+            )
+    if not windows:
+        return cluster
+    nodes = [
+        dataclasses.replace(node, load=OverlayLoad(node.load, windows[i]))
+        if i in windows else node
+        for i, node in enumerate(cluster.nodes)
+    ]
+    return dataclasses.replace(cluster, nodes=nodes)
+
+
 @dataclasses.dataclass
 class _WorkerState(object):
     index: int
     node: NodeSpec
     metrics: WorkerMetrics
     pending_piggyback: float = 0.0  # bytes of results to attach
-    pending_chunk: Optional[tuple[int, int, int]] = None  # start, stop, stage
+    #: start, stop, stage, acp-at-assignment
+    pending_chunk: Optional[tuple[int, int, int, Optional[int]]] = None
     done: bool = False
     dead: bool = False
     #: interval whose results have not yet reached the master (lost if
     #: this worker dies); mirrors ``outstanding`` in the runtime master.
     unacked: Optional[tuple[int, int]] = None
     last_activity: float = 0.0
+    #: incarnation counter: bumped at every death so events scheduled
+    #: by a previous incarnation no-op after a chaos restart.
+    epoch: int = 0
 
 
 class MasterSlaveSimulation(object):
@@ -114,6 +140,7 @@ class MasterSlaveSimulation(object):
         cluster: ClusterSpec,
         acp_model: AcpModel = IMPROVED_ACP,
         collect_results: bool = False,
+        chaos=None,
     ) -> None:
         if scheduler.workers != cluster.size:
             raise SimulationError(
@@ -125,6 +152,14 @@ class MasterSlaveSimulation(object):
                 f"scheduler covers {scheduler.total} iterations but "
                 f"workload has {workload.size}"
             )
+        self.chaos = chaos
+        if chaos is not None:
+            if chaos.max_worker >= cluster.size:
+                raise SimulationError(
+                    f"fault plan targets worker {chaos.max_worker} but "
+                    f"cluster has {cluster.size} nodes"
+                )
+            cluster = _overlay_load_spikes(cluster, chaos)
         self.scheduler = scheduler
         self.workload = workload
         self.cluster = cluster
@@ -155,6 +190,14 @@ class MasterSlaveSimulation(object):
         self._parked: list[_WorkerState] = []
         #: shared-medium availability per LAN segment id.
         self._segment_free: dict[str, float] = {}
+        #: per-worker list of scheduled death times still ahead
+        #: (fails_at plus chaos deaths), consumed in time order.
+        self._death_schedule: dict[int, list[float]] = {}
+        #: chaos restarts not yet fired: while > 0 the all-dead check
+        #: stays soft because a PE is still coming back.
+        self._future_restarts = 0
+        #: per-worker (at, kind, extra_seconds) message faults, sorted.
+        self._message_faults: dict[int, list[tuple[float, str, float]]] = {}
 
     # -- helpers ---------------------------------------------------------------
 
@@ -186,6 +229,31 @@ class MasterSlaveSimulation(object):
         self._segment_free[node.segment] = start + duration
         return start
 
+    def _alive_action(self, state: _WorkerState, fn, *args):
+        """An event action that no-ops if ``state`` died in the meantime.
+
+        The epoch capture makes the guard restart-safe: a chaos restart
+        revives the worker, but events scheduled by the dead incarnation
+        still must not fire (their protocol context is gone).
+        """
+        epoch = state.epoch
+
+        def action(_event) -> None:
+            if state.dead or state.epoch != epoch:
+                return
+            fn(state, *args)
+
+        return action
+
+    def _pop_message_fault(
+        self, state: _WorkerState, t: float
+    ) -> Optional[tuple[float, str, float]]:
+        """Consume the worker's due delay/loss fault, if any."""
+        faults = self._message_faults.get(state.index)
+        if not faults or faults[0][0] > t:
+            return None
+        return faults.pop(0)
+
     # -- protocol events ---------------------------------------------------------
 
     def _send_request(self, state: _WorkerState) -> None:
@@ -193,6 +261,20 @@ class MasterSlaveSimulation(object):
         if state.dead:
             return
         t = self.queue.now
+        fault = self._pop_message_fault(state, t)
+        if fault is not None:
+            # Delay: the message sits on the wire ``extra`` longer.
+            # Loss: the message vanishes and the retransmission goes out
+            # after ``retry_after`` -- to the protocol the two are the
+            # same pause, accounted as wait time.
+            _at, kind, extra = fault
+            state.metrics.t_wait += extra
+            self.queue.schedule_at(
+                t + extra,
+                self._alive_action(state, self._send_request),
+                kind=f"chaos-{kind}",
+            )
+            return
         node = state.node
         nbytes = self.cluster.request_bytes + state.pending_piggyback
         carries_results = state.pending_piggyback > 0
@@ -209,8 +291,9 @@ class MasterSlaveSimulation(object):
         )
         self.queue.schedule_at(
             tx_start + tx,
-            lambda ev, s=state, a=acp, r=carries_results, b=nbytes:
-                self._master_receive(s, a, r, b),
+            self._alive_action(
+                state, self._master_receive, acp, carries_results, nbytes
+            ),
             kind="request-arrival",
         )
 
@@ -244,10 +327,10 @@ class MasterSlaveSimulation(object):
         # Master NIC queueing + master queueing + service is wait time
         # for the slave.
         state.metrics.t_wait += service_end - port_arrival
-        assignment: Optional[tuple[int, int, int]] = None
+        assignment: Optional[tuple[int, int, int, Optional[int]]] = None
         if self._requeue:
             start, stop = self._requeue.popleft()
-            assignment = (start, stop, 0)
+            assignment = (start, stop, 0, acp)
         else:
             view = WorkerView(
                 worker_id=state.index,
@@ -257,7 +340,7 @@ class MasterSlaveSimulation(object):
             )
             chunk = self.scheduler.next_chunk(view)
             if chunk is not None:
-                assignment = (chunk.start, chunk.stop, chunk.stage)
+                assignment = (chunk.start, chunk.stop, chunk.stage, acp)
         if assignment is None:
             if self._work_may_reappear():
                 # A failing peer still holds undelivered results: park
@@ -270,7 +353,7 @@ class MasterSlaveSimulation(object):
             state.metrics.t_com += reply_tx
             self.queue.schedule_at(
                 service_end + reply_tx,
-                lambda ev, s=state: self._worker_terminate(s),
+                self._alive_action(state, self._worker_terminate),
                 kind="terminate",
             )
             return
@@ -283,7 +366,7 @@ class MasterSlaveSimulation(object):
         state.pending_chunk = assignment
         self.queue.schedule_at(
             reply_start + reply_tx,
-            lambda ev, s=state: self._worker_compute(s),
+            self._alive_action(state, self._worker_compute),
             kind="assign",
         )
 
@@ -292,7 +375,7 @@ class MasterSlaveSimulation(object):
             return
         t = self.queue.now
         assert state.pending_chunk is not None
-        start, stop, stage = state.pending_chunk
+        start, stop, stage, acp = state.pending_chunk
         state.pending_chunk = None
         state.unacked = (start, stop)
         cost = self.workload.chunk_cost(start, stop)
@@ -309,6 +392,7 @@ class MasterSlaveSimulation(object):
                 assigned_at=t,
                 completed_at=finish,
                 stage=stage,
+                acp=acp,
             )
         )
         if self.collect_results:
@@ -318,7 +402,7 @@ class MasterSlaveSimulation(object):
         )
         self.queue.schedule_at(
             finish,
-            lambda ev, s=state: self._send_request(s),
+            self._alive_action(state, self._send_request),
             kind="request-send",
         )
 
@@ -339,13 +423,24 @@ class MasterSlaveSimulation(object):
     def _worker_die(self, state: _WorkerState) -> None:
         """Fail-stop: lose undelivered work, requeue it, unpark peers."""
         t = self.queue.now
+        schedule = self._death_schedule.get(state.index)
+        if schedule:
+            schedule.pop(0)
+        if not schedule:
+            self._pending_failers.discard(state.index)
+        if state.dead or state.done:
+            # Already dead (duplicate fails_at + plan death) or already
+            # terminated normally: nothing is lost, but the failer
+            # bookkeeping above may have just unblocked parked peers.
+            self._drain_parked()
+            return
         state.dead = True
         state.done = True
+        state.epoch += 1
         state.metrics.finished_at = t
-        self._pending_failers.discard(state.index)
         lost: list[tuple[int, int]] = []
         if state.pending_chunk is not None:
-            start, stop, _stage = state.pending_chunk
+            start, stop, _stage, _acp = state.pending_chunk
             lost.append((start, stop))
             state.pending_chunk = None
         if state.unacked is not None:
@@ -373,12 +468,42 @@ class MasterSlaveSimulation(object):
                         break
         self._requeue.extend(lost)
         alive = [s for s in self._participants if not s.dead]
-        if not alive and (self._requeue or not self.scheduler.finished):
+        if not alive and self._future_restarts == 0 \
+                and (self._requeue or not self.scheduler.finished):
             raise SimulationError(
                 "every worker died with iterations outstanding; the "
                 "loop cannot complete"
             )
         self._drain_parked()
+
+    def _worker_restart(self, state: _WorkerState) -> None:
+        """A chaos restart: the PE rejoins as a fresh, idle slave.
+
+        Anything the dead incarnation held was requeued at death; the
+        revived worker simply asks for work like any other idle slave
+        (re-registering its ACP first in distributed mode, the paper's
+        step 1(a) for a late joiner).
+        """
+        self._future_restarts -= 1
+        if not state.dead:
+            # The scheduled death never hurt this worker (it finished
+            # first, or the plan was applied to a reliable node).
+            return
+        t = self.queue.now
+        state.dead = False
+        state.done = False
+        state.pending_chunk = None
+        state.unacked = None
+        state.pending_piggyback = 0.0
+        if self.scheduler.distributed:
+            self.scheduler.observe_acp(state.index, self._acp_now(state, t))
+        self._send_request(state)
+
+    def _master_stall(self, duration: float) -> None:
+        """The master serves nothing for ``duration`` from now."""
+        self._master_free = max(
+            self._master_free, self.queue.now + float(duration)
+        )
 
     def _drain_parked(self) -> None:
         """Hand requeued work to parked workers; terminate the rest."""
@@ -389,10 +514,10 @@ class MasterSlaveSimulation(object):
             start, stop = self._requeue.popleft()
             reply_tx = state.node.transfer_time(self.cluster.reply_bytes)
             state.metrics.t_com += reply_tx
-            state.pending_chunk = (start, stop, 0)
+            state.pending_chunk = (start, stop, 0, None)
             self.queue.schedule(
                 reply_tx,
-                lambda ev, s=state: self._worker_compute(s),
+                self._alive_action(state, self._worker_compute),
                 kind="assign",
             )
         if not self._work_may_reappear() and not self._requeue \
@@ -406,10 +531,59 @@ class MasterSlaveSimulation(object):
                 state.metrics.t_com += reply_tx
                 self.queue.schedule(
                     reply_tx,
-                    lambda ev, s=state: self._worker_terminate(s),
+                    self._alive_action(state, self._worker_terminate),
                     kind="terminate",
                 )
             self._parked.clear()
+
+    def _schedule_faults(self) -> None:
+        """Queue every death (fails_at + plan) and chaos event.
+
+        Deaths from ``NodeSpec.fails_at`` and from the fault plan merge
+        into one per-worker schedule so the failer bookkeeping (and the
+        parking heuristic built on it) sees them uniformly.
+        """
+        participants = {s.index for s in self._participants}
+        deaths: dict[int, list[float]] = {}
+        for s in self._participants:
+            if s.node.fails_at is not None:
+                deaths.setdefault(s.index, []).append(
+                    float(s.node.fails_at)
+                )
+        if self.chaos is not None:
+            for ev in self.chaos.events:
+                kind = ev.kind
+                if kind == "death" and ev.worker in participants:
+                    deaths.setdefault(ev.worker, []).append(float(ev.at))
+                elif kind == "restart" and ev.worker in participants:
+                    self._future_restarts += 1
+                    self.queue.schedule_at(
+                        float(ev.at),
+                        lambda _e, s=self.workers[ev.worker]:
+                            self._worker_restart(s),
+                        kind="chaos-restart",
+                    )
+                elif kind == "stall":
+                    self.queue.schedule_at(
+                        float(ev.at),
+                        lambda _e, d=float(ev.duration):
+                            self._master_stall(d),
+                        kind="chaos-stall",
+                    )
+                elif kind in ("delay", "loss") and ev.worker in participants:
+                    self._message_faults.setdefault(ev.worker, [])
+            for idx in self._message_faults:
+                self._message_faults[idx] = self.chaos.message_faults(idx)
+        for idx, times in deaths.items():
+            times.sort()
+            self._death_schedule[idx] = times
+            self._pending_failers.add(idx)
+            for at in times:
+                self.queue.schedule_at(
+                    at,
+                    lambda _e, s=self.workers[idx]: self._worker_die(s),
+                    kind="death",
+                )
 
     # -- run -----------------------------------------------------------------------
 
@@ -429,14 +603,7 @@ class MasterSlaveSimulation(object):
                 self.scheduler.observe_acp(s.index, self._acp_now(s, 0.0))
         else:
             self._participants = list(self.workers)
-        for s in self._participants:
-            if s.node.fails_at is not None:
-                self._pending_failers.add(s.index)
-                self.queue.schedule_at(
-                    float(s.node.fails_at),
-                    lambda ev, state=s: self._worker_die(state),
-                    kind="death",
-                )
+        self._schedule_faults()
         for s in self._participants:
             self._send_request(s)
         self.queue.run()
@@ -480,6 +647,7 @@ def simulate(
     cluster: ClusterSpec,
     acp_model: AcpModel = IMPROVED_ACP,
     collect_results: bool = False,
+    chaos=None,
     **scheme_kwargs,
 ) -> SimResult:
     """Simulate one run of ``scheme`` over ``workload`` on ``cluster``.
@@ -487,6 +655,11 @@ def simulate(
     ``scheme`` may be a registry name (``"TSS"``, ``"DFISS"``, ...), a
     ready :class:`~repro.core.Scheduler` (must match the workload and
     cluster sizes), or a factory ``f(total, workers) -> Scheduler``.
+
+    ``chaos`` takes a :class:`repro.chaos.FaultPlan`: deaths, restarts,
+    message delay/loss, master stalls, and load spikes are injected in
+    virtual time, and the run must still cover every iteration exactly
+    once (see ``docs/fault_model.md`` and :mod:`repro.verify`).
     """
     if isinstance(scheme, str):
         scheduler = make_for_cluster(
@@ -502,5 +675,6 @@ def simulate(
         cluster,
         acp_model=acp_model,
         collect_results=collect_results,
+        chaos=chaos,
     )
     return sim.run()

@@ -39,6 +39,7 @@ __all__ = [
     "StepLoad",
     "PeriodicLoad",
     "RandomLoad",
+    "OverlayLoad",
     "integrate_compute",
 ]
 
@@ -209,6 +210,56 @@ class RandomLoad(LoadTrace):
             self._extend(self._horizon + 1.0)
             idx = bisect.bisect_right(self._edges, t)
         return self._edges[idx]
+
+
+class OverlayLoad(LoadTrace):
+    """A base trace plus transient extra-load windows.
+
+    ``windows`` is a sequence of ``(start, end, extra_q)``: during each
+    half-open window ``[start, end)`` the run queue is the base trace's
+    value plus ``extra_q``.  Overlapping windows stack.  This is how
+    chaos :class:`~repro.chaos.LoadSpike` events reach the simulator
+    without mutating the caller's cluster spec.
+    """
+
+    def __init__(
+        self,
+        base: LoadTrace,
+        windows: Sequence[tuple[float, float, int]],
+    ) -> None:
+        cleaned = []
+        for start, end, extra in windows:
+            start, end, extra = float(start), float(end), int(extra)
+            if end <= start:
+                raise SimulationError(
+                    f"window must have end > start, got [{start}, {end})"
+                )
+            if extra < 1:
+                raise SimulationError(
+                    f"window extra_q must be >= 1, got {extra}"
+                )
+            cleaned.append((start, end, extra))
+        self.base = base
+        self.windows = sorted(cleaned)
+
+    def q_at(self, t: float) -> int:
+        q = self.base.q_at(t)
+        for start, end, extra in self.windows:
+            if start <= t < end:
+                q += extra
+        return q
+
+    def next_change(self, t: float) -> Optional[float]:
+        nxt = self.base.next_change(t)
+        for start, end, _extra in self.windows:
+            for edge in (start, end):
+                if edge > t:
+                    nxt = edge if nxt is None else min(nxt, edge)
+                    break
+        return nxt
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OverlayLoad(base={self.base!r}, windows={self.windows!r})"
 
 
 def integrate_compute(

@@ -59,6 +59,9 @@ class ChunkRecord(object):
     assigned_at: float
     completed_at: float
     stage: int = 0
+    #: the ACP the worker attached to the request that won this chunk
+    #: (None for non-distributed schemes and requeued assignments).
+    acp: Optional[int] = None
 
     @property
     def size(self) -> int:

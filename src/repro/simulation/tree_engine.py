@@ -53,7 +53,16 @@ class _TreeWorker(object):
     next_flush: float = 0.0
     sweep_pos: int = 0
     done: bool = False
+    dead: bool = False
     current_block: Optional[tuple[int, int]] = None
+    #: computed blocks whose results have not left this PE yet; lost
+    #: (and rolled back) if the PE dies.
+    unflushed: list = dataclasses.field(default_factory=list)
+    #: blocks inside the flush message currently on the wire; lost with
+    #: the sender under fail-stop.
+    inflight: list = dataclasses.field(default_factory=list)
+    #: incarnation counter; see the master-slave engine.
+    epoch: int = 0
 
     def remaining(self) -> int:
         return sum(r[1] - r[0] for r in self.ranges)
@@ -93,6 +102,19 @@ class _TreeWorker(object):
             last[1] -= take
         return (stolen_lo, stolen_hi)
 
+    def strip_range(self) -> Optional[tuple[int, int]]:
+        """Take one whole remaining range, no ``min_steal`` threshold.
+
+        Dead-PE recovery: survivors reclaim a dead partner's queue in
+        full, however small, or its residue would be lost forever.
+        """
+        while self.ranges and self.ranges[-1][0] >= self.ranges[-1][1]:
+            self.ranges.pop()
+        if not self.ranges:
+            return None
+        lo, hi = self.ranges.pop()
+        return (lo, hi)
+
 
 class TreeSimulation(object):
     """One simulated TreeS run; construct and call :meth:`run` once."""
@@ -106,6 +128,7 @@ class TreeSimulation(object):
         grain: int = 1,
         min_steal: int = 2,
         collect_results: bool = False,
+        chaos=None,
     ) -> None:
         if flush_interval <= 0:
             raise SimulationError("flush_interval must be > 0")
@@ -113,6 +136,16 @@ class TreeSimulation(object):
             raise SimulationError(f"grain must be >= 1, got {grain}")
         if min_steal < 2:
             raise SimulationError(f"min_steal must be >= 2, got {min_steal}")
+        self.chaos = chaos
+        if chaos is not None:
+            if chaos.max_worker >= cluster.size:
+                raise SimulationError(
+                    f"fault plan targets worker {chaos.max_worker} but "
+                    f"cluster has {cluster.size} nodes"
+                )
+            from .engine import _overlay_load_spikes
+
+            cluster = _overlay_load_spikes(cluster, chaos)
         self.workload = workload
         self.cluster = cluster
         self.flush_interval = float(flush_interval)
@@ -144,6 +177,147 @@ class TreeSimulation(object):
         self._chunks: list[ChunkRecord] = []
         self._results: list[tuple[int, np.ndarray]] = []
         self._steals = 0
+        self._death_schedule: dict[int, list[float]] = {}
+        self._future_restarts = 0
+        self._message_faults: dict[int, list[tuple[float, str, float]]] = {}
+
+    # -- fault plumbing ----------------------------------------------------------
+
+    def _alive_action(self, w: _TreeWorker, fn, *args):
+        """Event action that no-ops if ``w`` died (or was reborn) since."""
+        epoch = w.epoch
+
+        def action(_event) -> None:
+            if w.dead or w.epoch != epoch:
+                return
+            fn(w, *args)
+
+        return action
+
+    def _pop_message_fault(
+        self, w: _TreeWorker, t: float
+    ) -> Optional[tuple[float, str, float]]:
+        faults = self._message_faults.get(w.index)
+        if not faults or faults[0][0] > t:
+            return None
+        return faults.pop(0)
+
+    def _schedule_faults(self) -> None:
+        if self.chaos is None:
+            return
+        deaths: dict[int, list[float]] = {}
+        for ev in self.chaos.events:
+            kind = ev.kind
+            if kind == "death":
+                deaths.setdefault(ev.worker, []).append(float(ev.at))
+            elif kind == "restart":
+                self._future_restarts += 1
+                self.queue.schedule_at(
+                    float(ev.at),
+                    lambda _e, s=self.workers[ev.worker]:
+                        self._worker_restart(s),
+                    kind="chaos-restart",
+                )
+            elif kind == "stall":
+                self.queue.schedule_at(
+                    float(ev.at),
+                    lambda _e, d=float(ev.duration): self._master_stall(d),
+                    kind="chaos-stall",
+                )
+            elif kind in ("delay", "loss"):
+                self._message_faults.setdefault(ev.worker, [])
+        for idx in self._message_faults:
+            self._message_faults[idx] = self.chaos.message_faults(idx)
+        for idx, times in deaths.items():
+            times.sort()
+            self._death_schedule[idx] = times
+            for at in times:
+                self.queue.schedule_at(
+                    at,
+                    lambda _e, s=self.workers[idx]: self._worker_die(s),
+                    kind="death",
+                )
+
+    def _master_stall(self, duration: float) -> None:
+        """The master's NIC accepts nothing for ``duration`` from now."""
+        self._master_link_free = max(
+            self._master_link_free, self.queue.now + float(duration)
+        )
+
+    def _worker_die(self, w: _TreeWorker) -> None:
+        """Fail-stop: computed-but-undelivered results are lost and the
+        PE's remaining queue becomes reclaimable by its partners."""
+        t = self.queue.now
+        schedule = self._death_schedule.get(w.index)
+        if schedule:
+            schedule.pop(0)
+        if w.dead or w.done:
+            return
+        w.dead = True
+        w.epoch += 1
+        w.metrics.finished_at = t
+        lost = list(w.unflushed) + list(w.inflight)
+        w.unflushed.clear()
+        w.inflight.clear()
+        w.pending_items = 0
+        for start, stop in lost:
+            for i in range(len(self._chunks) - 1, -1, -1):
+                rec = self._chunks[i]
+                if rec.worker == w.index and rec.start == start \
+                        and rec.stop == stop:
+                    if rec.completed_at > t:
+                        # Died mid-block: un-book the never-executed
+                        # tail of the pre-integrated compute time.
+                        w.metrics.t_comp -= rec.completed_at - t
+                    w.metrics.chunks -= 1
+                    w.metrics.iterations -= stop - start
+                    del self._chunks[i]
+                    break
+            if self.collect_results:
+                for i in range(len(self._results) - 1, -1, -1):
+                    if self._results[i][0] == start:
+                        del self._results[i]
+                        break
+            # The lost interval rejoins the dead PE's queue, where the
+            # partner sweep (strip_range) recovers it -- TreeS has no
+            # central requeue, so recovery is decentralized too.
+            w.ranges.append([start, stop])
+        w.ranges.sort(key=lambda r: r[0])
+        merged: list[list[int]] = []
+        for r in w.ranges:
+            if merged and merged[-1][1] == r[0]:
+                merged[-1][1] = r[1]
+            else:
+                merged.append(r)
+        w.ranges = merged
+        alive = [s for s in self.workers if not s.dead and not s.done]
+        outstanding = sum(s.remaining() for s in self.workers)
+        if not alive and self._future_restarts == 0 and outstanding > 0:
+            raise SimulationError(
+                "every TreeS PE died or finished with iterations "
+                "outstanding; the loop cannot complete"
+            )
+
+    def _worker_restart(self, w: _TreeWorker) -> None:
+        """A chaos restart: the PE rejoins and resumes its own queue."""
+        self._future_restarts -= 1
+        if not w.dead:
+            return
+        t = self.queue.now
+        w.dead = False
+        w.done = False
+        w.pending_items = 0
+        w.unflushed.clear()
+        w.inflight.clear()
+        # Rejoin handshake, then resume whatever is left of the queue
+        # (or sweep partners if it was emptied while dead).
+        delay = w.node.transfer_time(self.cluster.reply_bytes)
+        w.metrics.t_com += delay
+        w.next_flush = self._next_epoch(t + delay)
+        self.queue.schedule(
+            delay, self._alive_action(w, self._compute_next),
+            kind="chaos-rejoin",
+        )
 
     # -- phases ------------------------------------------------------------------
 
@@ -166,7 +340,7 @@ class TreeSimulation(object):
         w.metrics.t_com += delay
         w.next_flush = self._next_epoch(delay)
         self.queue.schedule(
-            delay, lambda ev, s=w: self._compute_next(s), kind="start"
+            delay, self._alive_action(w, self._compute_next), kind="start"
         )
 
     def _compute_next(self, w: _TreeWorker) -> None:
@@ -185,6 +359,7 @@ class TreeSimulation(object):
         w.metrics.iterations += stop - start
         w.metrics.chunks += 1
         w.pending_items += stop - start
+        w.unflushed.append((start, stop))
         self._chunks.append(
             ChunkRecord(
                 worker=w.index,
@@ -197,17 +372,31 @@ class TreeSimulation(object):
         if self.collect_results:
             self._results.append((start, self.workload.execute(start, stop)))
         self.queue.schedule_at(
-            finish, lambda ev, s=w: self._compute_next(s), kind="compute"
+            finish, self._alive_action(w, self._compute_next),
+            kind="compute",
         )
 
     def _flush(self, w: _TreeWorker, final: bool) -> None:
         t = self.queue.now
+        fault = self._pop_message_fault(w, t)
+        if fault is not None:
+            # Chaos delay/loss: the flush leaves (or retransmits) late.
+            _at, kind, extra = fault
+            w.metrics.t_wait += extra
+            self.queue.schedule_at(
+                t + extra,
+                self._alive_action(w, self._flush, final),
+                kind=f"chaos-{kind}",
+            )
+            return
         nbytes = (
             self.cluster.request_bytes
             + w.pending_items * self.cluster.result_bytes_per_item
         )
         items = w.pending_items
         w.pending_items = 0
+        w.inflight = list(w.unflushed)
+        w.unflushed.clear()
         tx = w.node.transfer_time(nbytes)
         w.metrics.t_com += tx
         # The master's single inbound NIC serializes concurrent flushes;
@@ -221,7 +410,14 @@ class TreeSimulation(object):
         w.metrics.t_wait += arrival - port_arrival
         w.next_flush = self._next_epoch(arrival)
 
+        epoch = w.epoch
+
         def arrive(ev, items=items, s=w, final=final):
+            if s.dead or s.epoch != epoch:
+                # Fail-stop: the flush died on the wire with its sender
+                # (the death handler rolled the blocks back).
+                return
+            s.inflight.clear()
             if items:
                 self._last_result_arrival = max(
                     self._last_result_arrival, self.queue.now
@@ -233,7 +429,7 @@ class TreeSimulation(object):
         self.queue.schedule_at(arrival, arrive, kind="flush-arrival")
         if not final:
             self.queue.schedule_at(
-                arrival, lambda ev, s=w: self._compute_next(s),
+                arrival, self._alive_action(w, self._compute_next),
                 kind="resume",
             )
 
@@ -251,7 +447,7 @@ class TreeSimulation(object):
                 w.metrics.t_wait += w.next_flush - t
                 self.queue.schedule_at(
                     w.next_flush,
-                    lambda ev, s=w: self._flush(s, final=True),
+                    self._alive_action(w, self._flush, True),
                     kind="final-flush",
                 )
             else:
@@ -266,9 +462,18 @@ class TreeSimulation(object):
             + victim.node.transfer_time(self.cluster.reply_bytes)
         )
         w.metrics.t_wait += rtt
+        thief_epoch = w.epoch
 
         def arrive(ev, thief=w, victim=victim):
-            stolen = victim.steal_half(self.min_steal)
+            if thief.dead or thief.epoch != thief_epoch:
+                return
+            # A dead victim cannot refuse: its whole queue (including
+            # work rolled back by the death handler) is reclaimable a
+            # range at a time, bypassing the min_steal threshold.
+            stolen = (
+                victim.strip_range() if victim.dead
+                else victim.steal_half(self.min_steal)
+            )
             if stolen is None:
                 self._try_steal(thief)
             else:
@@ -281,16 +486,26 @@ class TreeSimulation(object):
     # -- run ----------------------------------------------------------------------
 
     def run(self) -> SimResult:
+        self._schedule_faults()
         for w in self.workers:
             self._start_worker(w)
         self.queue.run()
         t_p = self._last_result_arrival
         for w in self.workers:
+            if w.dead:
+                continue
             tracked = w.metrics.busy
             if tracked < t_p:
                 w.metrics.t_wait += t_p - tracked
         computed = sum(c.size for c in self._chunks)
         if computed != self.workload.size:
+            if self.chaos is not None:
+                raise SimulationError(
+                    f"TreeS could not recover from the fault plan: "
+                    f"computed {computed} of {self.workload.size} "
+                    f"(every surviving PE finished before the lost work "
+                    f"became reclaimable)"
+                )
             raise SimulationError(
                 f"TreeS leak: computed {computed} of {self.workload.size}"
             )
@@ -320,8 +535,14 @@ def simulate_tree(
     grain: int = 1,
     min_steal: int = 2,
     collect_results: bool = False,
+    chaos=None,
 ) -> SimResult:
-    """Simulate one TreeS run (see :class:`TreeSimulation`)."""
+    """Simulate one TreeS run (see :class:`TreeSimulation`).
+
+    ``chaos`` takes a :class:`repro.chaos.FaultPlan`; recovery is
+    decentralized (partners reclaim a dead PE's queue), see
+    ``docs/fault_model.md``.
+    """
     return TreeSimulation(
         workload,
         cluster,
@@ -330,4 +551,5 @@ def simulate_tree(
         grain=grain,
         min_steal=min_steal,
         collect_results=collect_results,
+        chaos=chaos,
     ).run()

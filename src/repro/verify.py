@@ -1,0 +1,408 @@
+"""Trace invariant auditor: proof-check a run's chunk trace.
+
+Every substrate in this repo -- the master--slave simulator, the TreeS
+simulator, and the real multiprocessing runtime -- produces a chunk
+trace: which worker executed which half-open interval ``[start, stop)``
+and (for simulations) when.  The auditor checks the invariants that any
+*correct* self-scheduled run must satisfy, fault plan or not:
+
+* **exactly-once coverage** -- the executed intervals tile ``[0, I)``
+  with no gap and no overlap, even across death/requeue/recompute
+  cycles (the chunk log keeps only the incarnation that delivered);
+* **sane chunks** -- every interval is non-empty and inside the loop;
+* **monotone event times** -- ``0 <= assigned_at <= completed_at``,
+  per-worker chunks do not overlap in time, and the reported parallel
+  time ``T_p`` is not before the last completion;
+* **metrics agreement** -- per-worker chunk/iteration counters match
+  the trace (deaths must roll both back consistently);
+* **ACP bounds** -- reported ACPs are positive integers, and at most
+  ``scale * max(V_i)`` when the cluster is known;
+* **policy conformance** -- for order-independent schemes, the trace's
+  interval boundaries equal a pure :class:`~repro.core.Scheduler`
+  replay's (requeued intervals are reassigned verbatim, so faults must
+  not move a single cut point).
+
+:func:`audit_sim` audits a :class:`~repro.simulation.SimResult`,
+:func:`audit_run` a runtime :class:`~repro.runtime.RunResult` (or
+:class:`~repro.runtime.MasterResult`).  Both return an
+:class:`AuditReport`; ``report.raise_if_failed()`` turns violations
+into an :class:`AuditError`.  The ``repro-experiments verify-chaos``
+command and the test-suite fixtures are thin wrappers over these.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .core import Scheduler, WorkerView, make
+
+__all__ = [
+    "AuditError",
+    "AuditReport",
+    "audit_chunks",
+    "audit_sim",
+    "audit_run",
+    "replay_cut_points",
+]
+
+#: tolerance for floating-point time comparisons.
+_EPS = 1e-9
+
+#: Schemes whose chunk boundaries are a pure function of the remaining
+#: count / step index -- independent of which worker asks, or how often.
+#: Only these have a substrate-independent reference replay; the stage
+#: ladders (FSS/FISS/TFSS) descend per-PE, WF weighs by requester, and
+#: the distributed family consumes runtime ACP reports.
+_ORDER_INVARIANT = frozenset({"S", "BC", "SS", "CSS", "GSS", "TSS"})
+
+
+class AuditError(AssertionError):
+    """A trace violated a run invariant (see :class:`AuditReport`)."""
+
+
+@dataclasses.dataclass
+class AuditReport(object):
+    """Outcome of one audit: which checks ran, what they found.
+
+    ``checks`` lists every invariant that was actually evaluated (some,
+    like policy conformance, are skipped when they do not apply);
+    ``violations`` holds one human-readable line per broken invariant.
+    """
+
+    subject: str
+    checks: list[str] = dataclasses.field(default_factory=list)
+    violations: list[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_failed(self) -> "AuditReport":
+        if self.violations:
+            lines = "\n  - ".join(self.violations)
+            raise AuditError(
+                f"{self.subject}: {len(self.violations)} invariant "
+                f"violation(s):\n  - {lines}"
+            )
+        return self
+
+    def summary(self) -> str:
+        state = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        lines = [f"{self.subject}: {state} "
+                 f"({len(self.checks)} checks: {', '.join(self.checks)})"]
+        lines.extend(f"  - {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def _check_coverage(
+    spans: Sequence[tuple[int, int]], total: int, report: AuditReport
+) -> None:
+    """Exactly-once tiling of ``[0, total)`` by half-open intervals."""
+    report.checks.append("coverage")
+    report.checks.append("chunk-sanity")
+    bad = [s for s in spans if s[1] <= s[0] or s[0] < 0 or s[1] > total]
+    for start, stop in bad[:5]:
+        report.violations.append(
+            f"chunk [{start}, {stop}) is empty or outside [0, {total})"
+        )
+    if bad:
+        return
+    cursor = 0
+    for start, stop in sorted(spans):
+        if start > cursor:
+            report.violations.append(
+                f"gap: iterations [{cursor}, {start}) never executed"
+            )
+        elif start < cursor:
+            report.violations.append(
+                f"overlap: iteration {start} executed more than once "
+                f"(chunk [{start}, {stop}))"
+            )
+        cursor = max(cursor, stop)
+    if cursor < total:
+        report.violations.append(
+            f"gap: iterations [{cursor}, {total}) never executed"
+        )
+
+
+def _length_matches(n_values: int, total: int) -> bool:
+    """True when ``n_values`` results can cover ``total`` iterations.
+
+    Workloads may produce one value *or one fixed-width vector* per
+    iteration (e.g. a Mandelbrot column), so any positive integer
+    multiple of ``total`` is a legal flattened length.
+    """
+    if total == 0:
+        return n_values == 0
+    return n_values >= total and n_values % total == 0
+
+
+def replay_cut_points(
+    scheme: str | Scheduler,
+    total: int,
+    workers: int,
+    order: Optional[Sequence[int]] = None,
+    **scheme_kwargs,
+) -> Optional[frozenset[int]]:
+    """Interval boundaries a pure scheduler replay would produce.
+
+    Serves homogeneous requests round-robin in ``order`` (default
+    ``0..workers-1``) until the scheduler runs dry and returns the set
+    of cut points ``{start_0, stop_0, start_1, ...}``.  Returns None
+    for distributed schemes (their sizes depend on runtime ACP reports,
+    so there is no substrate-independent reference sequence).
+    """
+    sched = (
+        make(scheme, total, workers, **scheme_kwargs)
+        if isinstance(scheme, str)
+        # Scheduler instances are single-use: replay a private copy so
+        # the caller's object (and a second replay) stay pristine.
+        else copy.deepcopy(scheme)
+    )
+    if sched.distributed:
+        return None
+    order = list(order) if order is not None else list(range(workers))
+    cuts: set[int] = set()
+    served = 0
+    dry = 0
+    i = 0
+    # total + workers is a hard upper bound on request count: every
+    # served request covers >= 1 iteration, plus one dry reply each.
+    for _ in range(2 * (total + workers) + 4):
+        wid = order[i % len(order)]
+        i += 1
+        chunk = sched.next_chunk(WorkerView(worker_id=wid))
+        if chunk is None:
+            # Static schemes run one worker dry while others still
+            # hold unclaimed blocks: only stop once everyone is dry.
+            dry += 1
+            if dry >= workers:
+                break
+            continue
+        dry = 0
+        cuts.add(chunk.start)
+        cuts.add(chunk.stop)
+        served += chunk.stop - chunk.start
+        if served >= total:
+            break
+    return frozenset(cuts)
+
+
+def _check_conformance(
+    spans: Sequence[tuple[int, int]],
+    scheme: str | Scheduler,
+    total: int,
+    workers: int,
+    report: AuditReport,
+    **scheme_kwargs,
+) -> None:
+    """Trace boundaries must equal a pure-policy replay's.
+
+    Requeued intervals are reassigned *verbatim* on every substrate, so
+    a fault plan may reorder chunks across workers but never move a cut
+    point.  The check only applies to the ``_ORDER_INVARIANT`` schemes
+    (size is a pure function of the remaining count / step index).
+    Schemes whose sizes depend on which worker asks or how often (WF's
+    weights, the per-PE stage ladders of FSS/FISS/TFSS, the ACP-driven
+    distributed family) have no substrate-independent reference
+    sequence and are skipped -- by whitelist, and double-checked by
+    replaying with structurally different worker orders (reversed, and
+    skewed so worker 0 requests far more often).
+    """
+    name = scheme if isinstance(scheme, str) else scheme.name
+    if name.split("(")[0] not in _ORDER_INVARIANT:
+        return
+    forward = replay_cut_points(
+        scheme, total, workers, **scheme_kwargs
+    )
+    if forward is None:  # distributed scheme: no reference replay
+        return
+    skewed = [
+        x for w in range(1, workers) for x in (0, w)
+    ] or [0]
+    for order in (list(reversed(range(workers))), skewed):
+        if replay_cut_points(
+            scheme, total, workers, order=order, **scheme_kwargs
+        ) != forward:  # order-dependent despite whitelist: bail out
+            return
+    report.checks.append("policy-conformance")
+    traced = frozenset(
+        pt for start, stop in spans for pt in (start, stop)
+    )
+    if traced != forward:
+        extra = sorted(traced - forward)[:8]
+        missing = sorted(forward - traced)[:8]
+        report.violations.append(
+            f"chunk boundaries diverge from pure "
+            f"{scheme if isinstance(scheme, str) else scheme.name} "
+            f"replay (unexpected cuts {extra}, missing cuts {missing})"
+        )
+
+
+def audit_sim(
+    result,
+    total: Optional[int] = None,
+    scheme: Optional[str | Scheduler] = None,
+    max_acp: Optional[int] = None,
+    **scheme_kwargs,
+) -> AuditReport:
+    """Audit a :class:`~repro.simulation.SimResult` trace.
+
+    ``total`` defaults to the iteration count implied by the trace
+    itself (pass it explicitly to also catch whole-trace truncation).
+    ``scheme`` (a registry name or fresh :class:`Scheduler`) enables
+    the policy-conformance replay; ``max_acp`` bounds reported ACPs
+    (e.g. ``acp_model.scale * max(virtual_powers)``).
+    """
+    report = AuditReport(subject=f"SimResult[{result.scheme}]")
+    spans = [(rec.start, rec.stop) for rec in result.chunks]
+    if total is None:
+        total = max((stop for _start, stop in spans), default=0)
+    _check_coverage(spans, total, report)
+
+    report.checks.append("event-times")
+    last_end: dict[int, float] = {}
+    for rec in sorted(result.chunks, key=lambda r: (r.assigned_at, r.start)):
+        if rec.assigned_at < -_EPS or rec.completed_at < rec.assigned_at - _EPS:
+            report.violations.append(
+                f"chunk [{rec.start}, {rec.stop}) has non-causal times "
+                f"assigned={rec.assigned_at:.6f} "
+                f"completed={rec.completed_at:.6f}"
+            )
+        prev = last_end.get(rec.worker)
+        if prev is not None and rec.assigned_at < prev - _EPS:
+            report.violations.append(
+                f"worker {rec.worker} chunks overlap in time: "
+                f"[{rec.start}, {rec.stop}) assigned at "
+                f"{rec.assigned_at:.6f} before previous completion "
+                f"{prev:.6f}"
+            )
+        last_end[rec.worker] = rec.completed_at
+    if result.chunks:
+        report.checks.append("t_p-bound")
+        last = max(rec.completed_at for rec in result.chunks)
+        if result.t_p < last - _EPS:
+            report.violations.append(
+                f"T_p={result.t_p:.6f} earlier than last chunk "
+                f"completion {last:.6f}"
+            )
+
+    report.checks.append("metrics-agreement")
+    by_worker: dict[int, list] = {}
+    for rec in result.chunks:
+        by_worker.setdefault(rec.worker, []).append(rec)
+    for idx, w in enumerate(result.workers):
+        recs = by_worker.get(idx, [])
+        iters = sum(r.stop - r.start for r in recs)
+        if w.chunks != len(recs) or w.iterations != iters:
+            report.violations.append(
+                f"worker {idx} ({w.name}) metrics disagree with trace: "
+                f"counters say {w.chunks} chunks/{w.iterations} iters, "
+                f"trace says {len(recs)}/{iters}"
+            )
+    stray = sorted(set(by_worker) - set(range(len(result.workers))))
+    if stray:
+        report.violations.append(
+            f"trace references unknown worker index(es) {stray}"
+        )
+
+    acps = [rec.acp for rec in result.chunks if rec.acp is not None]
+    if acps:
+        report.checks.append("acp-bounds")
+        for rec in result.chunks:
+            if rec.acp is None:
+                continue
+            if rec.acp < 1 or (max_acp is not None and rec.acp > max_acp):
+                report.violations.append(
+                    f"chunk [{rec.start}, {rec.stop}) carries ACP "
+                    f"{rec.acp} outside [1, {max_acp or 'inf'}]"
+                )
+
+    if result.results is not None:
+        report.checks.append("result-length")
+        if not _length_matches(len(result.results), total):
+            report.violations.append(
+                f"collected results hold {len(result.results)} values "
+                f"for a {total}-iteration loop"
+            )
+
+    if scheme is not None and report.ok:
+        _check_conformance(
+            spans, scheme, total, len(result.workers), report,
+            **scheme_kwargs,
+        )
+    return report
+
+
+def audit_chunks(
+    chunks: Iterable[tuple[int, int, int]],
+    total: int,
+    subject: str = "chunks",
+) -> AuditReport:
+    """Audit a bare ``(worker, start, stop)`` log for exactly-once
+    coverage of ``[0, total)``."""
+    report = AuditReport(subject=subject)
+    spans = [(start, stop) for _worker, start, stop in chunks]
+    _check_coverage(spans, total, report)
+    return report
+
+
+def audit_run(
+    run,
+    total: Optional[int] = None,
+    scheme: Optional[str | Scheduler] = None,
+    workload=None,
+    workers: Optional[int] = None,
+    **scheme_kwargs,
+) -> AuditReport:
+    """Audit a runtime :class:`~repro.runtime.RunResult` (or
+    :class:`~repro.runtime.MasterResult`).
+
+    ``workload`` additionally checks the reassembled results bit for
+    bit against ``workload.execute_serial()`` -- the runtime's core
+    correctness property, fault plan or not.
+    """
+    name = getattr(run, "scheme", None) or "runtime"
+    report = AuditReport(subject=f"RunResult[{name}]")
+    spans = [(start, stop) for _worker, start, stop in run.chunks]
+    if total is None:
+        total = (
+            workload.size if workload is not None
+            else max((stop for _s, stop in spans), default=0)
+        )
+    _check_coverage(spans, total, report)
+
+    results = getattr(run, "results", None)
+    if results is not None and workload is not None:
+        report.checks.append("results-vs-serial")
+        expected = workload.execute_serial()
+        got = np.asarray(results)
+        if got.shape != np.asarray(expected).shape or not np.array_equal(
+            got, expected
+        ):
+            report.violations.append(
+                "reassembled results differ from the serial execution "
+                f"(shapes {got.shape} vs {np.asarray(expected).shape})"
+            )
+    elif results is not None:
+        report.checks.append("result-length")
+        if not _length_matches(len(results), total):
+            report.violations.append(
+                f"collected results hold {len(results)} values for a "
+                f"{total}-iteration loop"
+            )
+
+    if scheme is not None and report.ok:
+        nworkers = workers
+        if nworkers is None:
+            nworkers = max(
+                (worker for worker, _s, _e in run.chunks), default=0
+            ) + 1
+        _check_conformance(
+            spans, scheme, total, nworkers, report, **scheme_kwargs
+        )
+    return report

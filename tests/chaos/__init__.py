@@ -1,0 +1,1 @@
+"""Chaos harness tests: fault plans, both engines, real runtime."""

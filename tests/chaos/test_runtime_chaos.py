@@ -1,0 +1,78 @@
+"""FaultPlan replay on the real multiprocessing runtime (run_chaos)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    ChaosError,
+    FaultPlan,
+    LoadSpike,
+    MasterStall,
+    MessageDelay,
+    MessageLoss,
+    WorkerDeath,
+    run_chaos,
+)
+from repro.verify import audit_run
+from repro.workloads import SpinWorkload, UniformWorkload
+
+
+@pytest.fixture(scope="module")
+def spin_workload():
+    return SpinWorkload(60, spins=50, veclen=4096)
+
+
+@pytest.fixture(scope="module")
+def spin_serial(spin_workload):
+    return spin_workload.execute_serial()
+
+
+class TestRunChaos:
+    def test_death_without_restart(self, spin_workload, spin_serial):
+        plan = FaultPlan(events=(WorkerDeath(worker=2, at=0.02),))
+        run = run_chaos("GSS", spin_workload, 3, plan)
+        audit_run(run, workload=spin_workload).raise_if_failed()
+        np.testing.assert_array_equal(run.results, spin_serial)
+
+    def test_timing_faults_only(self, spin_workload, spin_serial):
+        plan = FaultPlan(events=(
+            MessageDelay(worker=0, at=0.0, delay=0.05),
+            MessageLoss(worker=1, at=0.01),
+            MasterStall(at=0.02, duration=0.05),
+        ), retry_after=0.03)
+        run = run_chaos("TSS", spin_workload, 3, plan)
+        audit_run(run, workload=spin_workload, scheme="TSS",
+                  workers=3).raise_if_failed()
+        np.testing.assert_array_equal(run.results, spin_serial)
+        assert run.requeued == 0  # nobody died
+
+    def test_load_spike(self, spin_workload, spin_serial):
+        plan = FaultPlan(events=(
+            LoadSpike(worker=1, at=0.0, duration=0.2, extra_q=2),
+        ))
+        run = run_chaos("FSS", spin_workload, 3, plan, stress_size=100)
+        audit_run(run, workload=spin_workload).raise_if_failed()
+        np.testing.assert_array_equal(run.results, spin_serial)
+
+    def test_plan_outside_worker_range_rejected(self, spin_workload):
+        plan = FaultPlan(events=(WorkerDeath(worker=5, at=0.1),))
+        with pytest.raises(ChaosError, match="targets worker"):
+            run_chaos("TSS", spin_workload, 3, plan)
+
+    def test_empty_plan_equals_plain_run(self):
+        wl = UniformWorkload(50)
+        run = run_chaos("CSS", wl, 2, FaultPlan(), k=10)
+        audit_run(run, workload=wl, scheme="CSS", workers=2,
+                  k=10).raise_if_failed()
+        np.testing.assert_array_equal(run.results, wl.execute_serial())
+
+    def test_time_scale_maps_plan(self, spin_workload, spin_serial):
+        # A virtual-time plan (death at t=2.0) mapped into the first
+        # few hundredths of a second of wall clock.
+        plan = FaultPlan(events=(WorkerDeath(worker=1, at=2.0),))
+        run = run_chaos("CSS", spin_workload, 3, plan,
+                        time_scale=0.01, k=6)
+        audit_run(run, workload=spin_workload).raise_if_failed()
+        np.testing.assert_array_equal(run.results, spin_serial)

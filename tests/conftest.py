@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro import cache
 from repro.simulation import ClusterSpec, ConstantLoad, NodeSpec
@@ -12,6 +15,51 @@ from repro.workloads import (
     ReorderedWorkload,
     UniformWorkload,
 )
+
+
+# Hypothesis profiles: "ci" is derandomized so the chaos CI job is
+# reproducible run to run; "chaos" digs deeper for local soak testing.
+# Select with HYPOTHESIS_PROFILE=ci|chaos (default: hypothesis default).
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, max_examples=25, deadline=None
+)
+hypothesis_settings.register_profile(
+    "chaos", max_examples=300, deadline=None
+)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    hypothesis_settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
+
+
+@pytest.fixture(autouse=True)
+def _audit_every_simulation(monkeypatch):
+    """Run the trace invariant auditor on every simulated run.
+
+    Wraps ``MasterSlaveSimulation.run`` and ``TreeSimulation.run`` so
+    *any* test that simulates -- chaos or not -- gets its trace checked
+    for exactly-once coverage, monotone times, and metrics agreement.
+    A scheduling bug anywhere in the suite fails loudly here instead of
+    corrupting results silently.
+    """
+    from repro.simulation.engine import MasterSlaveSimulation
+    from repro.simulation.tree_engine import TreeSimulation
+    from repro.verify import audit_sim
+
+    orig_master = MasterSlaveSimulation.run
+    orig_tree = TreeSimulation.run
+
+    def run_master(self):
+        result = orig_master(self)
+        audit_sim(result, self.scheduler.total).raise_if_failed()
+        return result
+
+    def run_tree(self):
+        result = orig_tree(self)
+        audit_sim(result, self.workload.size).raise_if_failed()
+        return result
+
+    monkeypatch.setattr(MasterSlaveSimulation, "run", run_master)
+    monkeypatch.setattr(TreeSimulation, "run", run_tree)
+    yield
 
 
 @pytest.fixture(scope="session", autouse=True)

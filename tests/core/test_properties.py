@@ -165,3 +165,39 @@ def test_dtss_survives_acp_churn(total, workers, churn_seed):
         guard += 1
         assert guard <= 4 * total + workers
     assert assigned == total
+
+
+@given(scheme_instance())
+@settings(max_examples=100, deadline=None)
+def test_drain_trace_passes_coverage_audit(case):
+    """Any drained scheme trace must tile [0, I) exactly once --
+    the same invariant the trace auditor enforces on full runs."""
+    from repro.verify import audit_chunks
+
+    name, total, workers = case
+    chunks = list(drain(make(name, total, workers)))
+    audit_chunks(
+        [(c.worker_id, c.start, c.stop) for c in chunks], total
+    ).raise_if_failed()
+
+
+@given(
+    st.sampled_from(["SS", "CSS", "GSS", "TSS"]),
+    st.integers(min_value=1, max_value=2000),
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=100, deadline=None)
+def test_order_invariant_cut_points(name, total, workers, seed):
+    """The whitelisted schemes must produce identical interval
+    boundaries for *any* request order -- the property the auditor's
+    policy-conformance replay relies on under chaos requeues."""
+    import random
+
+    from repro.verify import replay_cut_points
+
+    rng = random.Random(seed)
+    order = [rng.randrange(workers) for _ in range(3 * workers + 1)]
+    reference = replay_cut_points(name, total, workers)
+    shuffled = replay_cut_points(name, total, workers, order=order)
+    assert reference == shuffled

@@ -23,6 +23,23 @@ def test_substrates_agree(scheme, parity_workload):
     assert report.ok, report
 
 
+@pytest.mark.parametrize("scheme", ["CSS(8)", "TSS", "DTSS"])
+def test_both_substrates_pass_the_auditor(scheme, parity_workload):
+    """Full invariant audit (not just coverage) on both traces."""
+    from repro.runtime import run_parallel
+    from repro.simulation import ClusterSpec, NodeSpec, simulate
+    from repro.verify import audit_run, audit_sim
+
+    cluster = ClusterSpec(nodes=[
+        NodeSpec(name=f"n{i}", speed=100.0) for i in range(3)
+    ])
+    sim = simulate(scheme, parity_workload, cluster)
+    audit_sim(sim, parity_workload.size, scheme=scheme).raise_if_failed()
+    run = run_parallel(scheme, parity_workload, 3)
+    audit_run(run, workload=parity_workload, scheme=scheme,
+              workers=3).raise_if_failed()
+
+
 def test_first_chunk_identical_for_css(parity_workload):
     # CSS's chunk sizes are order-independent: the full multiset of
     # sizes must match across substrates, not just the counts.

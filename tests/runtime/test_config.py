@@ -1,0 +1,145 @@
+"""RuntimeConfig: validation, env overrides, deadline enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make
+from repro.runtime import RuntimeConfig, WorkerTimeoutError
+from repro.runtime.master import master_loop
+from repro.workloads import UniformWorkload
+
+
+class TestDefaultsAndValidation:
+    def test_defaults(self):
+        config = RuntimeConfig()
+        assert config.poll_timeout == 5.0
+        assert config.worker_deadline == 120.0
+        assert config.heartbeat_interval == 2.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(poll_timeout=0.0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(join_timeout=-1.0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(restart_backoff=0.0)
+
+    def test_deadline_must_exceed_heartbeat(self):
+        with pytest.raises(ValueError, match="deadline"):
+            RuntimeConfig(worker_deadline=1.0, heartbeat_interval=2.0)
+        # disabling either side lifts the constraint
+        RuntimeConfig(worker_deadline=None, heartbeat_interval=2.0)
+        RuntimeConfig(worker_deadline=1.0, heartbeat_interval=None)
+
+
+class TestFromEnv:
+    def test_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POLL_TIMEOUT", "1.5")
+        monkeypatch.setenv("REPRO_WORKER_DEADLINE", "30")
+        monkeypatch.setenv("REPRO_HEARTBEAT_INTERVAL", "0.5")
+        monkeypatch.setenv("REPRO_JOIN_TIMEOUT", "7")
+        monkeypatch.setenv("REPRO_RESTART_BACKOFF", "0.01")
+        config = RuntimeConfig.from_env()
+        assert config.poll_timeout == 1.5
+        assert config.worker_deadline == 30.0
+        assert config.heartbeat_interval == 0.5
+        assert config.join_timeout == 7.0
+        assert config.restart_backoff == 0.01
+
+    def test_non_positive_disables_deadline_and_heartbeat(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_WORKER_DEADLINE", "0")
+        monkeypatch.setenv("REPRO_HEARTBEAT_INTERVAL", "-1")
+        config = RuntimeConfig.from_env()
+        assert config.worker_deadline is None
+        assert config.heartbeat_interval is None
+
+    def test_kwargs_override_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POLL_TIMEOUT", "1.5")
+        config = RuntimeConfig.from_env(poll_timeout=0.25)
+        assert config.poll_timeout == 0.25
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POLL_TIMEOUT", "soon")
+        with pytest.raises(ValueError, match="REPRO_POLL_TIMEOUT"):
+            RuntimeConfig.from_env()
+
+
+class _SilentConn(object):
+    """A fake pipe whose worker never says anything (hung process)."""
+
+    def __init__(self):
+        self.closed = False
+
+    def recv(self):  # pragma: no cover - never ready
+        raise AssertionError("silent conn should never be read")
+
+    def send(self, msg):
+        pass
+
+    def close(self):
+        self.closed = True
+
+
+class TestDeadlineEnforcement:
+    def test_silent_worker_raises_worker_timeout(self):
+        import repro.runtime.master as master_mod
+
+        wl = UniformWorkload(30)
+        scheduler = make("CSS(5)", wl.size, 1)
+        conn = _SilentConn()
+        original_wait = master_mod.wait
+        master_mod.wait = lambda conns, timeout=None: []
+        try:
+            with pytest.raises(WorkerTimeoutError) as err:
+                master_loop(
+                    scheduler, {0: conn},
+                    config=RuntimeConfig(
+                        poll_timeout=0.01,
+                        worker_deadline=0.05,
+                        heartbeat_interval=0.02,
+                    ),
+                )
+        finally:
+            master_mod.wait = original_wait
+        # the error must point the operator at the knob
+        assert "REPRO_WORKER_DEADLINE" in str(err.value)
+        assert conn.closed
+
+    def test_heartbeat_survives_long_chunk(self):
+        """A single long chunk outlives the deadline; heartbeats from
+        the worker's side thread must keep it alive."""
+        import numpy as np
+
+        from repro.runtime import run_parallel
+        from repro.workloads import SpinWorkload
+
+        wl = SpinWorkload(24, spins=40, veclen=4096)
+        run = run_parallel(
+            "CSS", wl, 2,
+            config=RuntimeConfig(
+                poll_timeout=0.05,
+                worker_deadline=0.4,
+                heartbeat_interval=0.05,
+            ),
+            k=12,  # one chunk per worker: longest possible silence
+        )
+        np.testing.assert_array_equal(run.results, wl.execute_serial())
+
+    def test_disabled_deadline_never_times_out(self):
+        import numpy as np
+
+        from repro.runtime import run_parallel
+
+        wl = UniformWorkload(40)
+        run = run_parallel(
+            "TSS", wl, 2,
+            config=RuntimeConfig(
+                poll_timeout=0.05,
+                worker_deadline=None,
+                heartbeat_interval=None,
+            ),
+        )
+        np.testing.assert_array_equal(run.results, wl.execute_serial())

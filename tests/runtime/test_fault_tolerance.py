@@ -179,3 +179,55 @@ class TestRealProcessDeath:
         assert result.assigned_iterations() == 40
         for proc in procs[1:]:
             proc.join(timeout=10)
+
+    def test_sigkill_mid_loop_result_equals_fault_free_run(self):
+        """Kill a worker while it is actually computing.
+
+        The run must finish on the survivors with results bit-identical
+        to the fault-free execution -- the acceptance criterion for the
+        runtime's fail-stop hardening.
+        """
+        import numpy as np
+
+        from repro.chaos import FaultPlan, WorkerDeath, run_chaos
+        from repro.verify import audit_run
+        from repro.workloads import SpinWorkload
+
+        # Compute-bound and deterministic: the SIGKILL lands mid-loop.
+        wl = SpinWorkload(60, spins=50, veclen=4096)
+        serial = wl.execute_serial()
+        plan = FaultPlan(events=(WorkerDeath(worker=1, at=0.02),))
+        run = run_chaos("CSS", wl, 3, plan, k=6)
+        audit_run(run, workload=wl, scheme="CSS", workers=3,
+                  k=6).raise_if_failed()
+        np.testing.assert_array_equal(run.results, serial)
+
+    def test_sigkill_then_restart_rejoins_and_result_is_exact(self):
+        """Kill one incarnation mid-run, admit a fresh one, finish.
+
+        Exercises the restart re-admission path: the replacement pipe
+        must not mask the dead incarnation's EOF (its outstanding chunk
+        is requeued exactly once).
+        """
+        import numpy as np
+
+        from repro.chaos import (
+            FaultPlan,
+            WorkerDeath,
+            WorkerRestart,
+            run_chaos,
+        )
+        from repro.verify import audit_run
+        from repro.workloads import SpinWorkload
+
+        wl = SpinWorkload(60, spins=50, veclen=4096)
+        serial = wl.execute_serial()
+        plan = FaultPlan(events=(
+            WorkerDeath(worker=1, at=0.02),
+            WorkerRestart(worker=1, at=0.08),
+        ))
+        run = run_chaos("CSS", wl, 3, plan, k=6)
+        audit_run(run, workload=wl, scheme="CSS",
+                  workers=3, k=6).raise_if_failed()
+        assert run.requeued >= 1
+        np.testing.assert_array_equal(run.results, serial)

@@ -130,6 +130,16 @@ class TestRunBatch:
         ]
         assert batch_keys(jobs) == [jobs[0].key, jobs[1].key]
 
+    def test_batch_results_pass_the_auditor(self, batch_workload,
+                                            batch_cluster):
+        from repro.verify import audit_sim
+
+        jobs = all_scheme_jobs(batch_workload, batch_cluster)
+        for job, result in zip(jobs, run_batch(jobs, n_jobs=2)):
+            scheme = None if job.engine == "tree" else job.scheme
+            audit_sim(result, batch_workload.size,
+                      scheme=scheme).raise_if_failed()
+
     def test_uncacheable_workload_costs_resolved_in_parent(self):
         wl = UniformWorkload(50, unit=2.0)
         cluster = ClusterSpec(nodes=[NodeSpec(name="n0", speed=10.0)])
