@@ -15,6 +15,11 @@ Grosu, *A Class of Loop Self-Scheduling for Heterogeneous Clusters*
   paper's Sun workstation testbed);
 * :mod:`repro.runtime` -- a real multiprocessing master--worker engine
   (the stand-in for MPI);
+* :mod:`repro.decentral` -- the master-less substrate: pure chunk
+  calculators, a SIGKILL-safe shared-counter runtime
+  (``run_decentral``) and a counter-contention simulator
+  (``simulate_decentral``), with a hierarchical (MPI+MPI-style)
+  leased mode;
 * :mod:`repro.analysis` -- chunk traces, balance metrics, speedup;
 * :mod:`repro.experiments` -- regenerates every table and figure;
 * :mod:`repro.batch` -- process-parallel fan-out of independent
@@ -46,6 +51,12 @@ from .core import (
     make,
     names,
 )
+from .decentral import (
+    DECENTRAL_SCHEMES,
+    make_calculator,
+    run_decentral,
+    simulate_decentral,
+)
 from .experiments.config import paper_cluster, paper_workload
 from .simulation import ClusterSpec, NodeSpec, SimResult, simulate, simulate_tree
 from .verify import AuditError, AuditReport, audit_run, audit_sim
@@ -70,6 +81,10 @@ __all__ = [
     "SimResult",
     "simulate",
     "simulate_tree",
+    "DECENTRAL_SCHEMES",
+    "make_calculator",
+    "run_decentral",
+    "simulate_decentral",
     "paper_workload",
     "paper_cluster",
     "SimJob",

@@ -48,10 +48,13 @@ class SimJob(object):
     """One independent simulation: inputs only, no shared state.
 
     ``engine`` selects the executor: ``"master"`` (the centralized
-    master--slave engine, :func:`repro.simulation.simulate`) or
+    master--slave engine, :func:`repro.simulation.simulate`),
     ``"tree"`` (the decentralized tree engine,
     :func:`repro.simulation.simulate_tree`, for which ``scheme`` is
-    cosmetic and ``params`` carries ``weighted``/``grain``).
+    cosmetic and ``params`` carries ``weighted``/``grain``) or
+    ``"decentral"`` (the shared-counter contention model,
+    :func:`repro.decentral.simulate_decentral`, where ``params`` may
+    carry ``atomic_op_cost``/``group_size``/``lease``).
     ``params`` holds extra keyword arguments (``acp_model``, ``alpha``,
     ...); ``tag`` is a free-form caller label (e.g. ``"p=8/ded"``).
     """
@@ -64,9 +67,10 @@ class SimJob(object):
     tag: str = ""
 
     def __post_init__(self) -> None:
-        if self.engine not in ("master", "tree"):
+        if self.engine not in ("master", "tree", "decentral"):
             raise ValueError(
-                f"engine must be 'master' or 'tree', got {self.engine!r}"
+                f"engine must be 'master', 'tree' or 'decentral', "
+                f"got {self.engine!r}"
             )
 
     def describe(self) -> str:
@@ -110,6 +114,11 @@ class SimJob(object):
         if self.engine == "tree":
             return simulate_tree(self.workload, self.cluster,
                                  **self.params)
+        if self.engine == "decentral":
+            from .decentral import simulate_decentral
+
+            return simulate_decentral(self.scheme, self.workload,
+                                      self.cluster, **self.params)
         return simulate(self.scheme, self.workload, self.cluster,
                         **self.params)
 

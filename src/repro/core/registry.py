@@ -33,6 +33,7 @@ __all__ = [
     "DISTRIBUTED_SCHEMES",
     "make",
     "names",
+    "parse",
 ]
 
 #: scheme name -> scheduler class.  TreeS is intentionally absent: it is
@@ -78,19 +79,22 @@ def names() -> list[str]:
     return list(SCHEMES)
 
 
-def make(name: str, total: int, workers: int, **kwargs) -> Scheduler:
-    """Instantiate scheme ``name`` over ``total`` iterations.
+def parse(name: str) -> tuple[str, dict[str, int]]:
+    """Resolve a scheme string to ``(key, inline_kwargs)``.
 
-    ``kwargs`` are forwarded to the scheme constructor (e.g.
-    ``alpha=2.0`` for FSS, ``acp_model=...`` for distributed schemes).
+    Accepts everything :func:`make` accepts -- case-insensitive names
+    and the inline-parameter form ``"CSS(32)"`` -- but performs no
+    instantiation, so other factories (the decentral calculators, CLI
+    validation) share one parser and one error message.
     """
     key = name.strip()
     match = _PARAM_RE.match(key)
+    inline: dict[str, int] = {}
     if match:
         base, arg = match.group(1).upper(), int(match.group(2))
         if base not in _INLINE_KEYWORD:
             raise SchemeError(f"scheme {base!r} takes no inline parameter")
-        kwargs.setdefault(_INLINE_KEYWORD[base], arg)
+        inline[_INLINE_KEYWORD[base]] = arg
         key = base
     else:
         key = key.upper()
@@ -98,6 +102,18 @@ def make(name: str, total: int, workers: int, **kwargs) -> Scheduler:
         raise SchemeError(
             f"unknown scheme {name!r}; known: {', '.join(SCHEMES)}"
         )
+    return key, inline
+
+
+def make(name: str, total: int, workers: int, **kwargs) -> Scheduler:
+    """Instantiate scheme ``name`` over ``total`` iterations.
+
+    ``kwargs`` are forwarded to the scheme constructor (e.g.
+    ``alpha=2.0`` for FSS, ``acp_model=...`` for distributed schemes).
+    """
+    key, inline = parse(name)
+    for kw, value in inline.items():
+        kwargs.setdefault(kw, value)
     return SCHEMES[key](total, workers, **kwargs)
 
 

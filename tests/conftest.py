@@ -40,12 +40,14 @@ def _audit_every_simulation(monkeypatch):
     A scheduling bug anywhere in the suite fails loudly here instead of
     corrupting results silently.
     """
+    from repro.decentral.sim_engine import DecentralSimulation
     from repro.simulation.engine import MasterSlaveSimulation
     from repro.simulation.tree_engine import TreeSimulation
     from repro.verify import audit_sim
 
     orig_master = MasterSlaveSimulation.run
     orig_tree = TreeSimulation.run
+    orig_decentral = DecentralSimulation.run
 
     def run_master(self):
         result = orig_master(self)
@@ -57,8 +59,14 @@ def _audit_every_simulation(monkeypatch):
         audit_sim(result, self.workload.size).raise_if_failed()
         return result
 
+    def run_decentral(self):
+        result = orig_decentral(self)
+        audit_sim(result, self.workload.size).raise_if_failed()
+        return result
+
     monkeypatch.setattr(MasterSlaveSimulation, "run", run_master)
     monkeypatch.setattr(TreeSimulation, "run", run_tree)
+    monkeypatch.setattr(DecentralSimulation, "run", run_decentral)
     yield
 
 

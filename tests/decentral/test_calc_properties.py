@@ -1,0 +1,95 @@
+"""Property suite: pure calculators == master replay, for every scheme.
+
+The load-bearing claim of the decentral substrate is that each
+calculator's geometry is *identical* to what the stateful scheduler
+would produce under round-robin service -- for any loop size, worker
+count, and scheme parameters, including the remainder-heavy edges
+(total < p, total == 0, final clipped chunk).  Hypothesis sweeps that
+space; :func:`repro.verify.replay_cut_points` is the oracle.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import drain, make
+from repro.decentral import make_calculator
+from repro.verify import replay_cut_points
+
+totals = st.integers(min_value=0, max_value=700)
+workers = st.integers(min_value=1, max_value=12)
+
+
+def _assert_equivalent(scheme: str, total: int, p: int, **kwargs) -> None:
+    calc = make_calculator(scheme, total, p, **kwargs)
+    assert calc.boundaries() == replay_cut_points(
+        scheme, total, p, **kwargs
+    )
+    sizes = calc.sizes()
+    assert sum(sizes) == total
+    # Ordinal-level agreement, stricter than the cut-point set.
+    assert sizes == [c.size for c in drain(make(scheme, total, p, **kwargs))]
+
+
+@settings(deadline=None)
+@given(total=totals, p=workers)
+def test_ss_matches_replay(total, p):
+    _assert_equivalent("SS", total, p)
+
+
+@settings(deadline=None)
+@given(total=totals, p=workers, k=st.integers(min_value=1, max_value=64))
+def test_css_matches_replay(total, p, k):
+    _assert_equivalent("CSS", total, p, k=k)
+
+
+@settings(deadline=None)
+@given(total=totals, p=workers,
+       min_chunk=st.integers(min_value=1, max_value=16))
+def test_gss_matches_replay(total, p, min_chunk):
+    _assert_equivalent("GSS", total, p, min_chunk=min_chunk)
+
+
+@settings(deadline=None)
+@given(total=totals, p=workers)
+def test_tss_matches_replay(total, p):
+    _assert_equivalent("TSS", total, p)
+
+
+@settings(deadline=None)
+@given(total=totals, p=workers,
+       first=st.integers(min_value=1, max_value=200),
+       last=st.integers(min_value=1, max_value=8))
+def test_tss_with_explicit_params_matches_replay(total, p, first, last):
+    first = max(first, last)
+    _assert_equivalent("TSS", total, p, first=first, last=last)
+
+
+@settings(deadline=None)
+@given(total=totals, p=workers,
+       alpha=st.sampled_from([1.5, 2.0, 3.0]))
+def test_fss_matches_replay(total, p, alpha):
+    _assert_equivalent("FSS", total, p, alpha=alpha)
+
+
+@settings(deadline=None)
+@given(total=totals, p=workers,
+       stages=st.integers(min_value=2, max_value=6))
+def test_fiss_matches_replay(total, p, stages):
+    _assert_equivalent("FISS", total, p, stages=stages)
+
+
+@settings(deadline=None)
+@given(total=totals, p=workers)
+def test_tfss_matches_replay(total, p):
+    _assert_equivalent("TFSS", total, p)
+
+
+@settings(deadline=None)
+@given(p=workers, total=st.integers(min_value=0, max_value=15))
+def test_tiny_loops_every_scheme(total, p):
+    # total < p and total == 0: the remainder/last-chunk edge cases in
+    # concentrated form.
+    for scheme in ("SS", "CSS", "GSS", "TSS", "FSS", "FISS", "TFSS"):
+        _assert_equivalent(scheme, total, p)

@@ -1,0 +1,77 @@
+"""CLI surface of the decentral substrate: sweep artifact + --scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import registry
+from repro.core.base import SchemeError
+from repro.experiments.runner import ALL_ARTIFACTS, build_parser, main
+
+
+class TestSchemeValidation:
+    def test_registry_parse_round_trips_every_name(self):
+        for name in registry.names():
+            key, inline = registry.parse(name)
+            assert key == name
+            assert inline == {}
+
+    def test_registry_parse_inline(self):
+        assert registry.parse("css(32)") == ("CSS", {"k": 32})
+        assert registry.parse("GSS(4)") == ("GSS", {"min_chunk": 4})
+
+    def test_registry_parse_rejects_unknown(self):
+        with pytest.raises(SchemeError, match="unknown scheme"):
+            registry.parse("NOPE")
+
+    def test_cli_accepts_registry_names(self):
+        args = build_parser().parse_args(["verify-chaos", "--scheme",
+                                          "css(32)"])
+        assert args.scheme == "css(32)"
+
+    def test_cli_rejects_unknown_scheme_with_menu(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify-chaos", "--scheme",
+                                       "BOGUS"])
+        err = capsys.readouterr().err
+        # the error lists the registry, not a hardcoded subset
+        for name in registry.names():
+            assert name in err
+
+
+class TestDecentralSweepCommand:
+    def test_listed_in_all_artifacts(self):
+        assert "decentral-sweep" in ALL_ARTIFACTS
+
+    def test_report_shows_independence_and_contention(self, capsys):
+        from repro.experiments import decentral_sweep
+
+        text = decentral_sweep.report(
+            sizes=(2, 4),
+            dispatch_costs=(2e-4, 2e-3),
+            atomic_costs=(1e-6, 1e-3),
+            total=256,
+        )
+        assert "spread across dispatch costs" in text
+        assert "p=4: 0.000000s" in text
+        assert "o=master" in text and "*=decentral" in text
+        assert "counter contention" in text
+
+    def test_cli_entry(self, capsys, monkeypatch):
+        from repro.experiments import decentral_sweep
+
+        monkeypatch.setattr(
+            decentral_sweep, "report",
+            lambda n_jobs=1: "decentral-sweep stub",
+        )
+        assert main(["decentral-sweep"]) == 0
+        assert "decentral-sweep stub" in capsys.readouterr().out
+
+    def test_dispatch_sweep_master_degrades_decentral_flat(self):
+        from repro.experiments.decentral_sweep import dispatch_sweep
+
+        points = dispatch_sweep(sizes=(4,), dispatch_costs=(2e-4, 5e-3),
+                                total=256)
+        cheap, dear = points
+        assert dear.master_t_p > cheap.master_t_p
+        assert dear.decentral_t_p == cheap.decentral_t_p
