@@ -1,0 +1,90 @@
+"""Bench obs: the disabled observability path must stay ~free.
+
+Two guards back the "zero-cost off switch" claim in ``repro.obs``:
+
+* **structural** -- a run without a collector must construct zero
+  :class:`~repro.obs.ObsEvent` objects: every emission site gates on
+  the falsy :class:`~repro.obs.NullCollector`, so the disabled path
+  pays one truth test and nothing else;
+* **timing** -- the summed cost of those truth tests stays under 2%
+  of the reference simulation's runtime.  The bound composes a
+  min-of-N measurement of the gate cost with the run's actual event
+  count, which is robust where a direct A/B of two full runs would be
+  noise-bound (the gate itself is nanoseconds).
+"""
+
+from __future__ import annotations
+
+import time
+import timeit
+
+from repro.obs import NULL, BufferedCollector, ObsEvent, capture
+from repro.simulation import ClusterSpec, NodeSpec, simulate
+from repro.workloads import UniformWorkload
+
+#: Reference run: big enough to dominate per-call overheads.
+WL = UniformWorkload(size=4000, unit=1e-6)
+
+
+def _cluster(n=4):
+    return ClusterSpec(
+        nodes=[NodeSpec(name=f"n{i}", speed=100.0) for i in range(n)]
+    )
+
+
+def _min_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_disabled_path_constructs_no_events(monkeypatch):
+    constructed = []
+    orig_init = ObsEvent.__init__
+
+    def counting_init(self, *args, **kwargs):
+        constructed.append(1)
+        orig_init(self, *args, **kwargs)
+
+    monkeypatch.setattr(ObsEvent, "__init__", counting_init)
+    simulate("TSS", WL, _cluster())
+    assert constructed == [], (
+        f"disabled run constructed {len(constructed)} events -- an "
+        f"emission site is missing its `if self.obs:` gate"
+    )
+    # sanity: the counter does count when a collector is attached
+    with capture() as trace:
+        simulate("TSS", WL, _cluster(), collector=trace)
+    assert len(constructed) == len(trace.events) > 0
+
+
+def test_null_collector_overhead_under_two_percent():
+    run_seconds = _min_of(lambda: simulate("TSS", WL, _cluster()))
+    # events the run *would* emit = gates the disabled run evaluates
+    with capture() as trace:
+        simulate("TSS", WL, _cluster(), collector=trace)
+    gates = len(trace.events)
+    # min-of-N cost of one `if NULL:` truth test
+    per_gate = min(
+        timeit.repeat("bool(sink)", globals={"sink": NULL},
+                      number=10_000, repeat=5)
+    ) / 10_000
+    overhead = gates * per_gate
+    assert overhead < 0.02 * run_seconds, (
+        f"{gates} gates x {per_gate:.2e}s = {overhead:.6f}s exceeds "
+        f"2% of the {run_seconds:.4f}s reference run"
+    )
+
+
+def test_buffered_collection_cost_is_bounded():
+    """Collection on is allowed to cost more, but not explode: the
+    instrumented run stays within 2x of the disabled run."""
+    base = _min_of(lambda: simulate("TSS", WL, _cluster()))
+
+    def instrumented():
+        simulate("TSS", WL, _cluster(), collector=BufferedCollector())
+
+    assert _min_of(instrumented) < 2.0 * base + 0.05

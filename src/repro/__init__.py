@@ -24,6 +24,11 @@ Grosu, *A Class of Loop Self-Scheduling for Heterogeneous Clusters*
 * :mod:`repro.experiments` -- regenerates every table and figure;
 * :mod:`repro.batch` -- process-parallel fan-out of independent
   simulation jobs (``run_batch``);
+* :mod:`repro.obs` -- the unified observability layer: one span/event
+  model for the chunk lifecycle emitted by every substrate, metrics,
+  JSONL / Chrome-trace exporters, structured logging;
+* :mod:`repro.verify` -- the trace invariant auditor
+  (``audit_sim`` / ``audit_run`` / ``audit_events``);
 * :mod:`repro.cache` -- the persistent, content-addressed cost-profile
   cache behind ``Workload.costs()``.
 
@@ -37,6 +42,20 @@ Quick start::
     wl = paper_workload(width=800, height=400)
     res = simulate("DTSS", wl, paper_cluster(wl))
     print(res.summary())
+
+Capture the unified event stream from any substrate -- the same
+schema whether the run is simulated or real::
+
+    import repro.obs
+    from repro import simulate, run_decentral
+
+    with repro.obs.capture() as trace:
+        simulate("TSS", wl, paper_cluster(wl), collector=trace)
+    print(repro.obs.trace_report(trace.events))
+    print(repro.obs.stream_digest(trace.events))  # substrate-agnostic
+
+    from repro import audit_events
+    audit_events(trace.events, scheme="TSS").raise_if_failed()
 """
 
 from .batch import SimJob, run_batch
@@ -58,8 +77,9 @@ from .decentral import (
     simulate_decentral,
 )
 from .experiments.config import paper_cluster, paper_workload
+from .obs import ObsEvent, capture, stream_digest, trace_report
 from .simulation import ClusterSpec, NodeSpec, SimResult, simulate, simulate_tree
-from .verify import AuditError, AuditReport, audit_run, audit_sim
+from .verify import AuditError, AuditReport, audit_events, audit_run, audit_sim
 from .workloads import MandelbrotWorkload, ReorderedWorkload, Workload
 
 __version__ = "1.0.0"
@@ -98,4 +118,9 @@ __all__ = [
     "AuditReport",
     "audit_sim",
     "audit_run",
+    "audit_events",
+    "ObsEvent",
+    "capture",
+    "stream_digest",
+    "trace_report",
 ]

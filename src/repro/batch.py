@@ -57,6 +57,13 @@ class SimJob(object):
     carry ``atomic_op_cost``/``group_size``/``lease``).
     ``params`` holds extra keyword arguments (``acp_model``, ``alpha``,
     ...); ``tag`` is a free-form caller label (e.g. ``"p=8/ded"``).
+
+    ``collect_events=True`` additionally captures the unified
+    observability trace (see :mod:`repro.obs`) and attaches it to the
+    result as ``SimResult.obs_events``.  ``engine="event"`` is accepted
+    as an alias for ``"master"`` (the master--slave engine *is* the
+    event-driven one); it normalizes before hashing, so the alias does
+    not perturb job keys.
     """
 
     scheme: str
@@ -65,12 +72,15 @@ class SimJob(object):
     engine: str = "master"
     params: dict = dataclasses.field(default_factory=dict)
     tag: str = ""
+    collect_events: bool = False
 
     def __post_init__(self) -> None:
+        if self.engine == "event":
+            object.__setattr__(self, "engine", "master")
         if self.engine not in ("master", "tree", "decentral"):
             raise ValueError(
-                f"engine must be 'master', 'tree' or 'decentral', "
-                f"got {self.engine!r}"
+                f"engine must be 'master', 'tree', 'decentral' or "
+                f"'event', got {self.engine!r}"
             )
 
     def describe(self) -> str:
@@ -97,9 +107,13 @@ class SimJob(object):
         params = ",".join(
             f"{k}={self.params[k]!r}" for k in sorted(self.params)
         )
+        # ``collect_events`` marks the descriptor only when on: the
+        # trace does not change what the simulation computes, and the
+        # silent default keeps pre-existing job keys byte-stable.
+        events_part = "|events" if self.collect_events else ""
         return (
             f"{self.engine}|{self.scheme}|{self.tag}|{wl_part}"
-            f"|{cl_part}|{params}"
+            f"|{cl_part}|{params}{events_part}"
         )
 
     @property
@@ -111,16 +125,26 @@ class SimJob(object):
 
     def run(self) -> SimResult:
         """Execute this job in the current process."""
+        kwargs = dict(self.params)
+        trace = None
+        if self.collect_events and "collector" not in kwargs:
+            from .obs import BufferedCollector
+
+            trace = BufferedCollector()
+            kwargs["collector"] = trace
         if self.engine == "tree":
-            return simulate_tree(self.workload, self.cluster,
-                                 **self.params)
-        if self.engine == "decentral":
+            result = simulate_tree(self.workload, self.cluster, **kwargs)
+        elif self.engine == "decentral":
             from .decentral import simulate_decentral
 
-            return simulate_decentral(self.scheme, self.workload,
-                                      self.cluster, **self.params)
-        return simulate(self.scheme, self.workload, self.cluster,
-                        **self.params)
+            result = simulate_decentral(self.scheme, self.workload,
+                                        self.cluster, **kwargs)
+        else:
+            result = simulate(self.scheme, self.workload, self.cluster,
+                              **kwargs)
+        if trace is not None:
+            result.obs_events = trace.events
+        return result
 
 
 def _execute(job: SimJob) -> SimResult:

@@ -36,12 +36,15 @@ import dataclasses
 import multiprocessing as mp
 import os
 import signal
+import tempfile
 import threading
 import time
 from typing import Optional, Sequence
 
 from ..core import Scheduler, make
 from ..core.acp import IMPROVED_ACP, AcpModel
+from ..obs import ObsEvent, get_logger, read_jsonl
+from ..obs import resolve as _resolve_collector
 from ..runtime.config import RuntimeConfig
 from ..runtime.executor import RunResult, assemble_results
 from ..runtime.master import MasterHooks, MasterResult, master_loop
@@ -50,6 +53,11 @@ from ..workloads import Workload, matrix_add_load
 from .plan import ChaosError, FaultPlan
 
 __all__ = ["ChaosController", "run_chaos"]
+
+#: Event-source tag for fault injections (the driver's own acts).
+_SRC = "chaos"
+
+logger = get_logger(__name__)
 
 
 class ChaosController(MasterHooks):
@@ -72,6 +80,8 @@ class ChaosController(MasterHooks):
         acp_model: AcpModel,
         config: RuntimeConfig,
         stress_size: int = 200,
+        collector=None,
+        obs_dir: Optional[str] = None,
     ) -> None:
         self.plan = plan
         self.ctx = ctx
@@ -81,6 +91,11 @@ class ChaosController(MasterHooks):
         self.acp_model = acp_model
         self.config = config
         self.stress_size = int(stress_size)
+        #: injection events (source ``chaos``) land here; worker-side
+        #: shards go under ``obs_dir`` (one file per incarnation).
+        self.obs = _resolve_collector(collector)
+        self.obs_dir = obs_dir
+        self._obs_incarnation: dict[int, int] = {}
         self._lock = threading.Lock()
         self._procs: dict[int, mp.process.BaseProcess] = {}
         self._spawned: list[mp.process.BaseProcess] = []
@@ -104,6 +119,23 @@ class ChaosController(MasterHooks):
             for at, _kind, extra in self.plan.message_faults(worker)
         ]
 
+    def _emit(self, kind: str, worker: int = -1, **fields) -> None:
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                kind, _SRC, time.monotonic() - self._t0, worker,
+                wall=time.time(), **fields,
+            ))
+
+    def worker_obs_path(self, wid: int) -> Optional[str]:
+        """Fresh shard path for the next incarnation of ``wid``."""
+        if self.obs_dir is None:
+            return None
+        incarnation = self._obs_incarnation.get(wid, -1) + 1
+        self._obs_incarnation[wid] = incarnation
+        return os.path.join(
+            self.obs_dir, f"worker-{wid:03d}-{incarnation:02d}.jsonl"
+        )
+
     def spawn_worker(self, wid: int, initial: bool):
         """Create (pipe, process) for one worker incarnation."""
         parent, child = self.ctx.Pipe()
@@ -118,6 +150,7 @@ class ChaosController(MasterHooks):
                 # Message faults apply to the original incarnation; a
                 # restarted process starts with a clean wire.
                 "delays": self.delays_for(wid) if initial else None,
+                "obs_path": self.worker_obs_path(wid),
             },
             daemon=True,
         )
@@ -162,6 +195,8 @@ class ChaosController(MasterHooks):
         now = time.monotonic() - self._t0
         while self._stalls and self._stalls[0][0] <= now:
             _at, duration = self._stalls.pop(0)
+            logger.info("injecting stall of %.3fs", duration)
+            self._emit("fault", value=duration, detail="stall")
             time.sleep(duration)
 
     def admissions(self):
@@ -220,6 +255,8 @@ class ChaosController(MasterHooks):
         if proc is None or proc.pid is None:
             return
         if proc.is_alive():
+            logger.info("injecting death of worker %d", wid)
+            self._emit("fault", wid, detail="kill")
             try:
                 os.kill(proc.pid, signal.SIGKILL)
             except ProcessLookupError:  # pragma: no cover - lost race
@@ -227,6 +264,8 @@ class ChaosController(MasterHooks):
         proc.join(timeout=self.config.join_timeout)
 
     def _restart(self, wid: int) -> None:
+        logger.info("injecting restart of worker %d", wid)
+        self._emit("restart", wid, detail="spawn")
         parent, proc = self.spawn_worker(wid, initial=False)
         proc.start()
         spec = self.specs[wid]
@@ -238,6 +277,9 @@ class ChaosController(MasterHooks):
             )
 
     def _spike(self, ev) -> None:
+        self._emit(
+            "fault", ev.worker, value=ev.duration, detail="spike",
+        )
         for i in range(ev.extra_q):
             proc = self.ctx.Process(
                 target=matrix_add_load,
@@ -261,6 +303,7 @@ def run_chaos(
     config: Optional[RuntimeConfig] = None,
     time_scale: float = 1.0,
     stress_size: int = 200,
+    collector=None,
     **scheme_kwargs,
 ) -> RunResult:
     """Run ``workload`` under ``scheme`` while injecting ``plan``.
@@ -295,9 +338,15 @@ def run_chaos(
         base, poll_timeout=min(base.poll_timeout, 0.25)
     )
     ctx = mp.get_context(mp_context)
+    obs = _resolve_collector(collector)
+    obs_tmp = (
+        tempfile.TemporaryDirectory(prefix="repro-chaos-obs-")
+        if obs else None
+    )
     controller = ChaosController(
         plan, ctx, workload, specs, scheduler.distributed, acp_model,
-        config, stress_size=stress_size,
+        config, stress_size=stress_size, collector=collector,
+        obs_dir=obs_tmp.name if obs_tmp else None,
     )
     pipes = {}
     procs = {}
@@ -316,7 +365,8 @@ def run_chaos(
     }
     try:
         master: MasterResult = master_loop(
-            scheduler, pipes, meta, config=config, hooks=controller
+            scheduler, pipes, meta, config=config, hooks=controller,
+            collector=collector,
         )
     finally:
         controller.shutdown()
@@ -324,6 +374,13 @@ def run_chaos(
             proc.join(timeout=config.join_timeout)
             if proc.is_alive():  # pragma: no cover - hang guard
                 proc.terminate()
+        if obs_tmp is not None:
+            # Worker shards (every incarnation, SIGKILLed ones
+            # included -- the JSONL reader tolerates a torn tail).
+            for name in sorted(os.listdir(obs_tmp.name)):
+                for ev in read_jsonl(os.path.join(obs_tmp.name, name)):
+                    obs.emit(ev)
+            obs_tmp.cleanup()
     elapsed = time.perf_counter() - wall0
     combined = (
         assemble_results(master.results) if collect_results else None

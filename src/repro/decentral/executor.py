@@ -50,6 +50,8 @@ import numpy as np
 from ..chaos.plan import ChaosError, FaultPlan
 from ..chaos.runtime import ChaosController
 from ..core.acp import IMPROVED_ACP
+from ..obs import ObsEvent
+from ..obs import resolve as _resolve_collector
 from ..runtime.config import RuntimeConfig
 from ..runtime.executor import assemble_results
 from ..runtime.messages import WorkerStats
@@ -67,6 +69,9 @@ __all__ = [
 
 #: Synthetic "worker id" the parent's repair pass executes under.
 REPAIR_LANE = -1
+
+#: Event-source tag for the unified observability stream.
+_SRC = "runtime.decentral"
 
 
 @dataclasses.dataclass
@@ -122,6 +127,7 @@ def decentral_worker_main(
     spec: Optional[WorkerSpec] = None,
     collect_results: bool = True,
     delays: Optional[Sequence[tuple[float, float]]] = None,
+    emit_events: bool = False,
 ) -> None:
     """Claim/compute/record loop (process target; exits when dry).
 
@@ -129,6 +135,12 @@ def decentral_worker_main(
     :class:`LeasedCounter` (hierarchical).  Every record is flushed
     before the next claim, so anything this process *recorded* survives
     its own SIGKILL (page cache, not process memory).
+
+    ``emit_events`` interleaves unified observability events (source
+    ``runtime.decentral``) into the shard stream as
+    ``("event", ordinal_or_None, event_dict)`` records; the parent
+    replays them into its collector at merge time, deduping ``result``
+    events by ordinal alongside the chunk records themselves.
     """
     spec = spec or WorkerSpec()
     n = calc.n_chunks
@@ -140,11 +152,22 @@ def decentral_worker_main(
     di = 0
     leased = isinstance(counter, LeasedCounter)
     with open(shard_path, "wb", buffering=0) as out:
+        def dump_event(kind: str, index: Optional[int] = None,
+                       at: Optional[float] = None, **fields) -> None:
+            t = (time.perf_counter() if at is None else at) - born
+            ev = ObsEvent(
+                kind, _SRC, t, worker_id, wall=time.time(), **fields
+            )
+            pickle.dump(("event", index, ev.to_dict()), out,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
         while True:
             now = time.perf_counter() - born
             while di < len(pending_delays) and pending_delays[di][0] <= now:
                 time.sleep(pending_delays[di][1])
                 di += 1
+            if emit_events:
+                dump_event("request")
             t0 = time.perf_counter()
             if leased:
                 index, refilled = counter.claim()
@@ -152,18 +175,33 @@ def decentral_worker_main(
                 local_ops += 0 if refilled else 1
             else:
                 index = counter.fetch_add(1)
+                refilled = True
                 global_ops += 1
-            stats.wait_seconds += time.perf_counter() - t0
+            wait = time.perf_counter() - t0
+            stats.wait_seconds += wait
+            if emit_events:
+                dump_event(
+                    "fetch-add", at=t0, value=wait,
+                    detail="global" if refilled else "local",
+                )
             if index >= n:
+                if emit_events:
+                    dump_event("terminate")
                 break
             start, stop = calc.interval(index)
             t1 = time.perf_counter()
             payload = _execute_with_slowdown(
                 workload, start, stop, spec.slowdown
             )
-            stats.compute_seconds += time.perf_counter() - t1
+            duration = time.perf_counter() - t1
+            stats.compute_seconds += duration
             stats.chunks += 1
             stats.iterations += stop - start
+            if emit_events:
+                dump_event(
+                    "compute", at=t1, start=start, stop=stop,
+                    stage=calc.stage_of(index), value=duration,
+                )
             pickle.dump(
                 (
                     "chunk", index, start, stop,
@@ -172,6 +210,9 @@ def decentral_worker_main(
                 out,
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
+            if emit_events:
+                # After the chunk record: the result is durable now.
+                dump_event("result", index=index, start=start, stop=stop)
         pickle.dump(
             ("stats", worker_id, stats, global_ops, local_ops),
             out,
@@ -223,12 +264,15 @@ class DecentralChaosController(ChaosController):
         shard_dir: str,
         collect_results: bool,
         stress_size: int = 200,
+        collector=None,
+        emit_events: bool = False,
     ) -> None:
         super().__init__(
             plan, ctx, workload, specs, distributed=False,
             acp_model=IMPROVED_ACP, config=config,
-            stress_size=stress_size,
+            stress_size=stress_size, collector=collector,
         )
+        self.emit_events = emit_events
         self.calc = calc
         self.counter_path = counter_path
         self.group_paths = group_paths
@@ -259,12 +303,15 @@ class DecentralChaosController(ChaosController):
                 # Message faults hit the original incarnation only, as
                 # in the master-based chaos runtime.
                 "delays": self.delays_for(wid) if initial else None,
+                "emit_events": self.emit_events,
             },
             daemon=True,
         )
         return None, proc
 
     def _hold_counter(self, duration: float) -> None:
+        self._emit("fault", value=duration, detail="stall")
+
         def hold() -> None:
             SharedCounter(self.counter_path).hold(duration)
 
@@ -325,6 +372,7 @@ def run_decentral(
     plan: Optional[FaultPlan] = None,
     time_scale: float = 1.0,
     stress_size: int = 200,
+    collector=None,
     **scheme_kwargs,
 ) -> DecentralResult:
     """Execute ``workload`` with no master in the dispatch path.
@@ -359,6 +407,7 @@ def run_decentral(
         specs.append(WorkerSpec())
     calc = make_calculator(scheme, workload.size, n_workers,
                            **scheme_kwargs)
+    obs = _resolve_collector(collector)
     n = calc.n_chunks  # warms the ordinal table before pickling
     base = config or RuntimeConfig.from_env()
     config = dataclasses.replace(
@@ -389,6 +438,7 @@ def run_decentral(
                     plan, ctx, workload, specs, config, calc,
                     counter_path, group_paths, group_size, lease,
                     workdir, collect_results, stress_size=stress_size,
+                    collector=collector, emit_events=bool(obs),
                 )
                 spawned = {}
                 for wid in range(n_workers):
@@ -415,6 +465,7 @@ def run_decentral(
                         kwargs={
                             "spec": specs[wid],
                             "collect_results": collect_results,
+                            "emit_events": bool(obs),
                         },
                         daemon=True,
                     )
@@ -449,6 +500,9 @@ def run_decentral(
         stats: dict[int, WorkerStats] = {}
         global_ops = 0
         local_ops = 0
+        #: result events deduped by ordinal (first wins), in lockstep
+        #: with the chunk dedup: the same shard scan order decides both.
+        result_events: dict[int, ObsEvent] = {}
         for name in sorted(os.listdir(workdir)):
             if not name.startswith("shard-"):
                 continue
@@ -467,7 +521,28 @@ def run_decentral(
                     agg.iterations += wstats.iterations
                     global_ops += gops
                     local_ops += lops
+                elif record[0] == "event":
+                    _tag, index, evd = record
+                    ev = ObsEvent.from_dict(evd)
+                    if ev.kind == "result":
+                        result_events.setdefault(index, ev)
+                    elif obs:
+                        obs.emit(ev)
         missing = [i for i in range(n) if i not in completed]
+        if obs:
+            for index in sorted(completed):
+                ev = result_events.get(index)
+                if ev is None:
+                    # Chunk record landed but the worker was killed
+                    # before its result event: synthesize one at merge
+                    # time so the stream still covers the interval.
+                    wid_, start, stop, _payload = completed[index]
+                    ev = ObsEvent(
+                        "result", _SRC, time.perf_counter() - wall0,
+                        wid_, start=start, stop=stop,
+                        wall=time.time(), detail="merge",
+                    )
+                obs.emit(ev)
         for index in missing:
             start, stop = calc.interval(index)
             payload = (
@@ -475,6 +550,20 @@ def run_decentral(
                 else None
             )
             completed[index] = (REPAIR_LANE, start, stop, payload)
+            if obs:
+                # The repair pass runs in the parent after the join;
+                # both events carry the same post-run timestamp.
+                t_rep = time.perf_counter() - wall0
+                obs.emit(ObsEvent(
+                    "repair", _SRC, t_rep, REPAIR_LANE,
+                    start=start, stop=stop, wall=time.time(),
+                    detail="hole",
+                ))
+                obs.emit(ObsEvent(
+                    "result", _SRC, t_rep, REPAIR_LANE,
+                    start=start, stop=stop, wall=time.time(),
+                    detail="repair",
+                ))
         chunks = [
             (completed[i][0], completed[i][1], completed[i][2])
             for i in sorted(completed)

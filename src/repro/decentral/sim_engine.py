@@ -55,6 +55,8 @@ from typing import Optional, Union
 import numpy as np
 
 from ..core.base import SchemeError
+from ..obs import ObsEvent
+from ..obs import resolve as _resolve_collector
 from ..workloads import Workload
 from ..simulation.cluster import ClusterSpec, NodeSpec
 from ..simulation.engine import _overlay_load_spikes
@@ -64,6 +66,9 @@ from ..simulation.metrics import ChunkRecord, SimResult, WorkerMetrics
 from .calc import ChunkCalculator, make_calculator
 
 __all__ = ["DecentralSimulation", "simulate_decentral"]
+
+#: Event-source tag for the unified observability stream.
+_SRC = "sim.decentral"
 
 #: Default cost of one fetch-and-add on the shared counter (seconds).
 #: An order-of-magnitude figure for a remote atomic (RMA fetch-op /
@@ -100,7 +105,9 @@ class DecentralSimulation(object):
         lease: int = 8,
         collect_results: bool = False,
         chaos=None,
+        collector=None,
     ) -> None:
+        self.obs = _resolve_collector(collector)
         if calc.workers != cluster.size:
             raise SimulationError(
                 f"calculator built for {calc.workers} workers but "
@@ -211,6 +218,11 @@ class DecentralSimulation(object):
         end = start + self.atomic_op_cost
         self._counter_free = end
         self._global_ops += 1
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "fetch-add", _SRC, at, state.index,
+                value=start - at, detail="global",
+            ))
         return end
 
     def _allocate(
@@ -238,6 +250,11 @@ class DecentralSimulation(object):
         state.metrics.t_wait += local_start - arrival
         local_end = local_start + self.local_op_cost
         self._group_free[g] = local_end
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "fetch-add", _SRC, arrival, state.index,
+                value=local_start - arrival, detail="local",
+            ))
         nxt, lease_end = self._lease_state[g]
         if nxt < min(lease_end, self._n):
             self._lease_state[g] = (nxt + 1, lease_end)
@@ -269,12 +286,19 @@ class DecentralSimulation(object):
         if fault is not None:
             _at, kind, extra = fault
             state.metrics.t_wait += extra
+            if self.obs:
+                self.obs.emit(ObsEvent(
+                    "fault", _SRC, t, state.index, value=extra,
+                    detail=kind,
+                ))
             self.queue.schedule_at(
                 t + extra,
                 self._alive_action(state, self._claim),
                 kind=f"chaos-{kind}",
             )
             return
+        if self.obs:
+            self.obs.emit(ObsEvent("request", _SRC, t, state.index))
         node = state.node
         tx = node.transfer_time(self.cluster.request_bytes)
         tx_start = self._acquire_segment(node, t, tx)
@@ -285,6 +309,10 @@ class DecentralSimulation(object):
             # A failing peer holds an incomplete ordinal that may yet
             # land on the scavenging list: retry the fetch when a
             # death resolves the question (see _drain_parked).
+            if self.obs:
+                self.obs.emit(ObsEvent(
+                    "park", _SRC, access_end, state.index,
+                ))
             self._parked.append(state)
             return
         back = node.transfer_time(self.cluster.reply_bytes)
@@ -299,6 +327,13 @@ class DecentralSimulation(object):
                 kind="terminate",
             )
             return
+        if self.obs:
+            a_start, a_stop = self.calc.interval(index)
+            self.obs.emit(ObsEvent(
+                "assign", _SRC, access_end, state.index,
+                start=a_start, stop=a_stop,
+                stage=self.calc.stage_of(index),
+            ))
         state.pending_index = index
         self.queue.schedule_at(
             resume,
@@ -312,6 +347,11 @@ class DecentralSimulation(object):
         cost = self.workload.chunk_cost(start, stop)
         finish = integrate_compute(t, cost, state.node.speed,
                                    state.node.load)
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "compute", _SRC, t, state.index, start=start, stop=stop,
+                stage=self.calc.stage_of(index), value=finish - t,
+            ))
         state.metrics.t_comp += finish - t
         state.metrics.chunks += 1
         state.metrics.iterations += stop - start
@@ -339,6 +379,12 @@ class DecentralSimulation(object):
     def _finish_chunk(self, state: _DWorkerState) -> None:
         # The chunk is durable from here on (shard write in the real
         # runtime): a later death cannot lose it.
+        if self.obs and state.pending_record is not None:
+            record = state.pending_record
+            self.obs.emit(ObsEvent(
+                "result", _SRC, self.queue.now, state.index,
+                start=record.start, stop=record.stop,
+            ))
         state.pending_index = None
         state.pending_record = None
         self._claim(state)
@@ -346,6 +392,10 @@ class DecentralSimulation(object):
     def _worker_terminate(self, state: _DWorkerState) -> None:
         state.done = True
         state.metrics.finished_at = self.queue.now
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "terminate", _SRC, self.queue.now, state.index,
+            ))
 
     # -- failure injection -------------------------------------------------
 
@@ -375,6 +425,10 @@ class DecentralSimulation(object):
         state.done = True
         state.epoch += 1
         state.metrics.finished_at = t
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "fault", _SRC, t, state.index, detail="death",
+            ))
         if state.pending_index is not None:
             record = state.pending_record
             if record is not None:
@@ -417,10 +471,19 @@ class DecentralSimulation(object):
         state.done = False
         state.pending_index = None
         state.pending_record = None
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "restart", _SRC, self.queue.now, state.index,
+            ))
         self._claim(state)
 
     def _counter_stall(self, duration: float) -> None:
         """The global counter is held for ``duration`` from now."""
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "fault", _SRC, self.queue.now, value=float(duration),
+                detail="stall",
+            ))
         self._counter_free = max(
             self._counter_free, self.queue.now + float(duration)
         )
@@ -533,6 +596,7 @@ def simulate_decentral(
     lease: int = 8,
     collect_results: bool = False,
     chaos=None,
+    collector=None,
     **scheme_kwargs,
 ) -> SimResult:
     """Simulate ``scheme`` on ``cluster`` with no master in the path.
@@ -561,5 +625,6 @@ def simulate_decentral(
         lease=lease,
         collect_results=collect_results,
         chaos=chaos,
+        collector=collector,
     )
     return sim.run()

@@ -1,0 +1,198 @@
+"""The unified event schema: one span/event model for every substrate.
+
+The paper's whole evaluation is per-worker timing behaviour -- chunk
+sizes, idle gaps, parallel times -- compared *across* scheduling
+schemes.  Before this module each substrate recorded timing its own
+way (``ChunkRecord`` lists in the simulators, ``(wid, start, stop)``
+tuples in the master runtime, pickled shard records in the decentral
+runtime), so cross-substrate questions ("does the simulator's chunk
+lifecycle match the real runtime's?") needed substrate-specific
+plumbing.  :class:`ObsEvent` is the one record type they all emit:
+
+========== ===========================================================
+kind       meaning
+========== ===========================================================
+request    a worker asked for work (master request / counter claim)
+assign     the dispatcher handed an interval to a worker
+compute    a worker started executing ``[start, stop)``; ``value``
+           carries the duration
+result     the interval's results became durable (landed on the
+           master, or hit the shard file / flush arrival)
+terminate  a worker was released (loop exhausted for it)
+heartbeat  a liveness beat (real runtime only)
+acp-update a worker registered its ACP with the scheduler
+fetch-add  one atomic counter access (decentral); ``value`` carries
+           the queueing delay (contention), ``detail`` is ``global``
+           or ``local``
+steal      a TreeS thief took ``[start, stop)`` from ``detail``'s PE
+park       the dispatcher parked an idle worker (work may reappear)
+fault      a fault fired: ``detail`` is ``death`` / ``stall`` /
+           ``delay`` / ``loss`` / ``spike`` / ``deadline``
+restart    a dead worker rejoined
+repair     the decentral parent re-executed a hole after the run
+========== ===========================================================
+
+``t`` is the substrate's own clock -- virtual seconds in the
+simulators, seconds since run start in the real runtimes; ``wall`` is
+absolute wall-clock time where one exists.  Both are excluded from
+:func:`repro.obs.export.canonical_stream`, which is what makes
+simulator and runtime traces directly diffable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+__all__ = [
+    "EVENT_KINDS",
+    "SOURCES",
+    "LIFECYCLE_KINDS",
+    "ObsEvent",
+    "SchemaError",
+    "validate_event",
+]
+
+#: Every legal ``ObsEvent.kind``.
+EVENT_KINDS = frozenset({
+    "request",
+    "assign",
+    "compute",
+    "result",
+    "terminate",
+    "heartbeat",
+    "acp-update",
+    "fetch-add",
+    "steal",
+    "park",
+    "fault",
+    "restart",
+    "repair",
+})
+
+#: The chunk-lifecycle subset (the ``request -> assign -> compute ->
+#: result`` spine every substrate shares).
+LIFECYCLE_KINDS = frozenset({"request", "assign", "compute", "result"})
+
+#: Every execution path that emits events.
+SOURCES = frozenset({
+    "sim.master",       # simulation.engine.MasterSlaveSimulation
+    "sim.tree",         # simulation.tree_engine.TreeSimulation
+    "sim.decentral",    # decentral.sim_engine.DecentralSimulation
+    "runtime.master",   # runtime.master.master_loop (master side)
+    "runtime.worker",   # runtime.worker.worker_main (shard writer)
+    "runtime.decentral",  # decentral.executor (workers + repair)
+    "chaos",            # fault drivers (ChaosController and kin)
+})
+
+#: Kinds that must carry an interval.
+_INTERVAL_KINDS = frozenset({"compute", "result", "steal", "repair"})
+
+
+class SchemaError(ValueError):
+    """An event violates the unified schema."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ObsEvent(object):
+    """One observation; immutable, picklable, JSON-serializable.
+
+    ``worker`` is ``-1`` for events not attributable to one worker
+    (e.g. a master stall).  ``value`` is the kind-specific measurement
+    (compute duration, fetch-add queueing delay, stall length);
+    ``detail`` the kind-specific qualifier (fault kind, counter tier,
+    steal victim).
+    """
+
+    kind: str
+    source: str
+    t: float
+    worker: int = -1
+    start: Optional[int] = None
+    stop: Optional[int] = None
+    stage: Optional[int] = None
+    acp: Optional[int] = None
+    value: Optional[float] = None
+    detail: str = ""
+    wall: Optional[float] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Compact dict form: unset optional fields are omitted."""
+        doc: dict[str, Any] = {
+            "kind": self.kind,
+            "source": self.source,
+            "t": self.t,
+        }
+        if self.worker != -1:
+            doc["worker"] = self.worker
+        for field in ("start", "stop", "stage", "acp", "value", "wall"):
+            v = getattr(self, field)
+            if v is not None:
+                doc[field] = v
+        if self.detail:
+            doc["detail"] = self.detail
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "ObsEvent":
+        try:
+            return cls(
+                kind=doc["kind"],
+                source=doc["source"],
+                t=float(doc["t"]),
+                worker=int(doc.get("worker", -1)),
+                start=doc.get("start"),
+                stop=doc.get("stop"),
+                stage=doc.get("stage"),
+                acp=doc.get("acp"),
+                value=doc.get("value"),
+                detail=doc.get("detail", ""),
+                wall=doc.get("wall"),
+            )
+        except KeyError as exc:
+            raise SchemaError(f"event dict missing field {exc}") from exc
+
+
+def validate_event(event: ObsEvent) -> ObsEvent:
+    """Check ``event`` against the schema; returns it or raises.
+
+    Collectors do *not* validate on the hot path (emission must stay
+    cheap); validation belongs in tests, importers and the auditor.
+    """
+    if event.kind not in EVENT_KINDS:
+        raise SchemaError(
+            f"unknown event kind {event.kind!r}; legal kinds: "
+            f"{sorted(EVENT_KINDS)}"
+        )
+    if event.source not in SOURCES:
+        raise SchemaError(
+            f"unknown event source {event.source!r}; legal sources: "
+            f"{sorted(SOURCES)}"
+        )
+    if not isinstance(event.t, (int, float)) or event.t < 0:
+        raise SchemaError(
+            f"event time must be a non-negative number, got {event.t!r}"
+        )
+    if event.kind in _INTERVAL_KINDS:
+        if event.start is None or event.stop is None:
+            raise SchemaError(
+                f"{event.kind!r} events must carry an interval, got "
+                f"start={event.start!r} stop={event.stop!r}"
+            )
+        if event.stop <= event.start or event.start < 0:
+            raise SchemaError(
+                f"{event.kind!r} event interval [{event.start}, "
+                f"{event.stop}) is empty or negative"
+            )
+    if event.start is not None and event.stop is not None \
+            and event.stop < event.start:
+        raise SchemaError(
+            f"event interval [{event.start}, {event.stop}) is reversed"
+        )
+    if event.kind == "fault" and not event.detail:
+        raise SchemaError("fault events must name the fault in `detail`")
+    if event.value is not None and event.value < 0:
+        raise SchemaError(
+            f"event value must be >= 0, got {event.value!r}"
+        )
+    return event

@@ -1,0 +1,130 @@
+"""Structured stdlib logging for the whole package.
+
+Until this layer existed ``src/`` contained no logging at all --
+worker drops, requeues, deadline expiries and chaos injections were
+silent.  Every module now logs through ``get_logger(__name__)`` under
+the ``repro`` root logger:
+
+* libraries stay quiet by default (a ``NullHandler`` on the root, the
+  stdlib's recommended library posture);
+* :func:`configure_logging` turns on structured stderr output, with
+  the level taken from its argument, ``$REPRO_LOG_LEVEL``, or
+  ``WARNING`` in that order -- the CLI wires ``--log-level`` to it;
+* artifact text (tables, reports -- the CLI's *product*) goes through
+  :func:`write_artifact`, a logger-backed stdout writer whose plain
+  formatter keeps the output byte-identical to the old ``print``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional, Union
+
+__all__ = [
+    "ENV_LOG_LEVEL",
+    "get_logger",
+    "configure_logging",
+    "write_artifact",
+]
+
+#: Environment variable naming the default log level.
+ENV_LOG_LEVEL = "REPRO_LOG_LEVEL"
+
+_ROOT = "repro"
+_ARTIFACT = "repro.artifact"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+class _StreamProxy(object):
+    """Resolves the target stream at write time.
+
+    Handlers capture their stream once; tests (capsys) and callers
+    swap ``sys.stdout``/``sys.stderr`` after import, so a late-bound
+    proxy is what keeps logging output visible to them.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def write(self, text: str) -> None:
+        getattr(sys, self._name).write(text)
+
+    def flush(self) -> None:
+        stream = getattr(sys, self._name)
+        if hasattr(stream, "flush"):
+            stream.flush()
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (idempotent, quiet by
+    default)."""
+    root = logging.getLogger(_ROOT)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def resolve_level(level: Optional[Union[int, str]] = None) -> int:
+    """Numeric level from arg, ``$REPRO_LOG_LEVEL``, or WARNING."""
+    if level is None:
+        level = os.environ.get(ENV_LOG_LEVEL) or "WARNING"
+    if isinstance(level, int):
+        return level
+    parsed = logging.getLevelName(str(level).upper())
+    if not isinstance(parsed, int):
+        raise ValueError(
+            f"unknown log level {level!r}; use DEBUG/INFO/WARNING/"
+            f"ERROR/CRITICAL or a number"
+        )
+    return parsed
+
+
+def configure_logging(
+    level: Optional[Union[int, str]] = None,
+    stream: str = "stderr",
+) -> logging.Logger:
+    """Install (or reconfigure) the package's structured handler.
+
+    Idempotent: the previous structured handler is replaced, never
+    stacked, so repeated CLI invocations in one process do not
+    multiply output.
+    """
+    root = get_logger(_ROOT)
+    root.setLevel(resolve_level(level))
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_structured", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(_StreamProxy(stream))
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_structured = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    return root
+
+
+def _artifact_logger() -> logging.Logger:
+    logger = logging.getLogger(_ARTIFACT)
+    if not any(getattr(h, "_repro_artifact", False)
+               for h in logger.handlers):
+        handler = logging.StreamHandler(_StreamProxy("stdout"))
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        handler._repro_artifact = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        # Artifact text must not also reach the structured stderr
+        # handler (it is the program's product, not a diagnostic).
+        logger.propagate = False
+    return logger
+
+
+def write_artifact(text: str) -> None:
+    """Emit artifact text on stdout through the logging stack.
+
+    The replacement for the CLI's bare ``print``: same bytes on
+    stdout, but routed through a handler so it honours redirection,
+    testing hooks, and future handler swaps (files, pagers).
+    """
+    _artifact_logger().info("%s", text)

@@ -1,0 +1,137 @@
+"""Per-worker utilization/latency summary from a unified trace.
+
+:func:`trace_report` renders the table behind the
+``repro-experiments trace-report`` artifact: one row per worker with
+chunk/iteration counts, busy vs idle seconds, utilization, and
+dispatch-latency statistics, followed by the event census and the
+canonical-stream digest (the cross-substrate fingerprint).  It works
+on *any* captured trace -- simulated or real -- because it consumes
+only schema events.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+from .events import ObsEvent
+from .export import stream_digest
+from .metrics import metrics_from_events
+
+__all__ = ["WorkerSummary", "summarize_workers", "trace_report"]
+
+
+@dataclasses.dataclass
+class WorkerSummary(object):
+    """Aggregates for one worker track."""
+
+    worker: int
+    chunks: int = 0
+    iterations: int = 0
+    busy: float = 0.0          # sum of compute durations
+    dispatch_sum: float = 0.0  # request -> assign gaps
+    dispatch_max: float = 0.0
+    dispatches: int = 0
+    first_t: Optional[float] = None
+    last_t: float = 0.0
+    faults: int = 0
+    restarts: int = 0
+
+    def observe(self, ev: ObsEvent) -> None:
+        self.first_t = ev.t if self.first_t is None else min(
+            self.first_t, ev.t
+        )
+        self.last_t = max(self.last_t, ev.t)
+        if ev.kind == "compute":
+            self.chunks += 1
+            self.iterations += (ev.stop or 0) - (ev.start or 0)
+            if ev.value is not None:
+                self.busy += ev.value
+                self.last_t = max(self.last_t, ev.t + ev.value)
+        elif ev.kind == "fault":
+            self.faults += 1
+        elif ev.kind == "restart":
+            self.restarts += 1
+
+    def observe_dispatch(self, latency: float) -> None:
+        self.dispatches += 1
+        self.dispatch_sum += latency
+        self.dispatch_max = max(self.dispatch_max, latency)
+
+    def utilization(self, horizon: float) -> float:
+        span = horizon - (self.first_t or 0.0)
+        return self.busy / span if span > 0 else 0.0
+
+
+def summarize_workers(
+    events: Iterable[ObsEvent],
+) -> dict[int, WorkerSummary]:
+    """Per-worker aggregates from a unified stream."""
+    summaries: dict[int, WorkerSummary] = {}
+    last_request: dict[int, float] = {}
+    for ev in events:
+        if ev.worker < 0:
+            continue
+        summary = summaries.get(ev.worker)
+        if summary is None:
+            summary = summaries[ev.worker] = WorkerSummary(ev.worker)
+        summary.observe(ev)
+        if ev.kind == "request":
+            last_request[ev.worker] = ev.t
+        elif ev.kind == "assign":
+            at = last_request.pop(ev.worker, None)
+            if at is not None and ev.t >= at:
+                summary.observe_dispatch(ev.t - at)
+    return summaries
+
+
+def trace_report(
+    events: Iterable[ObsEvent],
+    title: str = "trace report",
+) -> str:
+    """Render the per-worker utilization/latency summary table."""
+    events = list(events)
+    if not events:
+        return f"{title}: (empty trace)"
+    summaries = summarize_workers(events)
+    horizon = max(
+        (s.last_t for s in summaries.values()), default=0.0
+    )
+    sources = sorted({ev.source for ev in events})
+    lines = [
+        f"{title} -- {len(events)} events from "
+        f"{', '.join(sources)}; horizon t={horizon:.4f}",
+        "",
+        f"{'worker':>6} {'chunks':>7} {'iters':>8} {'busy(s)':>10} "
+        f"{'util%':>6} {'disp.mean':>10} {'disp.max':>9} "
+        f"{'faults':>6} {'restarts':>8}",
+    ]
+    for wid in sorted(summaries):
+        s = summaries[wid]
+        mean = s.dispatch_sum / s.dispatches if s.dispatches else 0.0
+        lines.append(
+            f"{wid:>6d} {s.chunks:>7d} {s.iterations:>8d} "
+            f"{s.busy:>10.4f} {100 * s.utilization(horizon):>6.1f} "
+            f"{mean:>10.5f} {s.dispatch_max:>9.5f} "
+            f"{s.faults:>6d} {s.restarts:>8d}"
+        )
+    census: dict[str, int] = {}
+    for ev in events:
+        census[ev.kind] = census.get(ev.kind, 0) + 1
+    lines.append("")
+    lines.append(
+        "events: " + "  ".join(
+            f"{kind}={census[kind]}" for kind in sorted(census)
+        )
+    )
+    reg = metrics_from_events(events)
+    chunk = reg.histogram("chunk_size")
+    disp = reg.histogram("dispatch_latency")
+    lines.append(
+        f"chunk size: n={chunk.count} mean={chunk.mean:.1f} "
+        f"min={chunk.min or 0:.0f} max={chunk.max or 0:.0f}; "
+        f"dispatch latency: mean={disp.mean:.5f}s "
+        f"p90~{disp.quantile(0.9):.5f}s"
+    )
+    lines.append(f"canonical stream sha256: {stream_digest(events)}")
+    return "\n".join(lines)

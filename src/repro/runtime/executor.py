@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing as mp
+import os
+import tempfile
 import time
 from typing import Optional, Sequence
 
@@ -21,6 +23,8 @@ import numpy as np
 
 from ..core import Scheduler, make
 from ..core.acp import IMPROVED_ACP, AcpModel
+from ..obs import read_jsonl
+from ..obs import resolve as _resolve_collector
 from ..workloads import Workload, matrix_add_load
 from .config import RuntimeConfig
 from .master import MasterHooks, MasterResult, master_loop
@@ -64,6 +68,7 @@ def run_parallel(
     config: Optional[RuntimeConfig] = None,
     hooks: Optional[MasterHooks] = None,
     worker_delays: Optional[dict[int, list[tuple[float, float]]]] = None,
+    collector=None,
     **scheme_kwargs,
 ) -> RunResult:
     """Run ``workload`` under ``scheme`` on ``n_workers`` processes.
@@ -77,6 +82,11 @@ def run_parallel(
     ``config`` tunes polling/heartbeat/deadline behaviour (defaults to
     :meth:`RuntimeConfig.from_env`); ``hooks`` and ``worker_delays``
     are the chaos entry points (see :func:`repro.chaos.run_chaos`).
+
+    ``collector`` receives the unified observability stream: the
+    master's events inline (source ``runtime.master``) plus each worker
+    process's JSONL shard (source ``runtime.worker``), merged after the
+    join -- see :mod:`repro.obs`.
     """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -90,40 +100,62 @@ def run_parallel(
     )
     config = config or RuntimeConfig.from_env()
     worker_delays = worker_delays or {}
+    obs = _resolve_collector(collector)
+    obs_dir: Optional[tempfile.TemporaryDirectory] = None
+    obs_paths: dict[int, str] = {}
+    if obs:
+        obs_dir = tempfile.TemporaryDirectory(prefix="repro-obs-")
+        obs_paths = {
+            wid: os.path.join(obs_dir.name, f"worker-{wid}.jsonl")
+            for wid in range(n_workers)
+        }
     ctx = mp.get_context(mp_context)
     pipes = {}
     processes = []
-    for wid in range(n_workers):
-        parent, child = ctx.Pipe()
-        pipes[wid] = parent
-        proc = ctx.Process(
-            target=worker_main,
-            args=(child, workload, wid),
-            kwargs={
-                "spec": specs[wid],
-                "distributed": scheduler.distributed,
-                "acp_model": acp_model,
-                "heartbeat_interval": config.heartbeat_interval,
-                "delays": worker_delays.get(wid),
-            },
-            daemon=True,
+    try:
+        for wid in range(n_workers):
+            parent, child = ctx.Pipe()
+            pipes[wid] = parent
+            proc = ctx.Process(
+                target=worker_main,
+                args=(child, workload, wid),
+                kwargs={
+                    "spec": specs[wid],
+                    "distributed": scheduler.distributed,
+                    "acp_model": acp_model,
+                    "heartbeat_interval": config.heartbeat_interval,
+                    "delays": worker_delays.get(wid),
+                    "obs_path": obs_paths.get(wid),
+                },
+                daemon=True,
+            )
+            processes.append(proc)
+        t0 = time.perf_counter()
+        for proc in processes:
+            proc.start()
+        meta = {
+            wid: (specs[wid].virtual_power, specs[wid].run_queue)
+            for wid in range(n_workers)
+        }
+        master: MasterResult = master_loop(
+            scheduler, pipes, meta, config=config, hooks=hooks,
+            collector=collector,
         )
-        processes.append(proc)
-    t0 = time.perf_counter()
-    for proc in processes:
-        proc.start()
-    meta = {
-        wid: (specs[wid].virtual_power, specs[wid].run_queue)
-        for wid in range(n_workers)
-    }
-    master: MasterResult = master_loop(
-        scheduler, pipes, meta, config=config, hooks=hooks
-    )
-    elapsed = time.perf_counter() - t0
-    for proc in processes:
-        proc.join(timeout=config.join_timeout)
-        if proc.is_alive():  # pragma: no cover - hang guard
-            proc.terminate()
+        elapsed = time.perf_counter() - t0
+        for proc in processes:
+            proc.join(timeout=config.join_timeout)
+            if proc.is_alive():  # pragma: no cover - hang guard
+                proc.terminate()
+        # Fan the worker shards into the caller's collector: each is a
+        # whole-file read after the join, so no cross-process locking.
+        for wid in sorted(obs_paths):
+            path = obs_paths[wid]
+            if os.path.exists(path):
+                for ev in read_jsonl(path):
+                    obs.emit(ev)
+    finally:
+        if obs_dir is not None:
+            obs_dir.cleanup()
     combined: Optional[np.ndarray] = None
     if collect_results:
         master.results.sort(key=lambda pair: pair[0])

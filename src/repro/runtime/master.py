@@ -41,6 +41,8 @@ from multiprocessing.connection import wait
 from typing import Any, Iterable, Optional
 
 from ..core import Scheduler, WorkerView
+from ..obs import ObsEvent, get_logger
+from ..obs import resolve as _resolve_collector
 from .config import RuntimeConfig
 from .messages import Assign, Heartbeat, Request, Terminate, WorkerStats
 
@@ -51,6 +53,11 @@ __all__ = [
     "WorkerTimeoutError",
     "master_loop",
 ]
+
+#: Event-source tag for the unified observability stream.
+_SRC = "runtime.master"
+
+logger = get_logger(__name__)
 
 
 class IncompleteRunError(RuntimeError):
@@ -109,15 +116,29 @@ def master_loop(
     worker_meta: Optional[dict[int, tuple[float, int]]] = None,
     config: Optional[RuntimeConfig] = None,
     hooks: Optional[MasterHooks] = None,
+    collector=None,
 ) -> MasterResult:
     """Serve requests until the loop completes and workers terminate.
 
     ``connections`` maps worker id -> master-side pipe end.
     ``worker_meta`` maps worker id -> ``(virtual_power, run_queue)`` for
     the :class:`WorkerView` (defaults to ``(1.0, 1)``).
+
+    ``collector`` receives the master-side half of the unified
+    observability stream (source ``runtime.master``): event times are
+    seconds since the loop started (comparable to simulator virtual
+    time), wall-clock stamps ride in the ``wall`` field.
     """
     config = config or RuntimeConfig.from_env()
     hooks = hooks or MasterHooks()
+    obs = _resolve_collector(collector)
+    t0 = time.monotonic()
+
+    def emit(kind: str, worker: int = -1, **fields) -> None:
+        obs.emit(ObsEvent(
+            kind, _SRC, time.monotonic() - t0, worker,
+            wall=time.time(), **fields,
+        ))
     worker_meta = dict(worker_meta or {})
     live = dict(connections)
     outstanding: dict[int, tuple[int, int]] = {}
@@ -135,7 +156,8 @@ def master_loop(
     requeued = 0
     timeouts = 0
 
-    def send_assignment(wid: int, assignment: tuple[int, int]) -> None:
+    def send_assignment(wid: int, assignment: tuple[int, int],
+                        detail: str = "") -> None:
         conn = live.get(wid)
         if conn is None:
             requeue.append(assignment)
@@ -144,6 +166,9 @@ def master_loop(
             outstanding[wid] = assignment
             chunks.append((wid, assignment[0], assignment[1]))
             conn.send(Assign(*assignment))
+            if obs:
+                emit("assign", wid, start=assignment[0],
+                     stop=assignment[1], detail=detail)
         except (BrokenPipeError, OSError):
             drop_worker(wid)
 
@@ -154,14 +179,21 @@ def master_loop(
             return
         try:
             conn.send(Terminate())
+            if obs:
+                emit("terminate", wid)
         except (BrokenPipeError, OSError):
             pass
 
     def handle_request(wid: int, req: Request) -> None:
         nonlocal requeued
+        if obs:
+            emit("request", wid, acp=req.acp)
         if req.result is not None:
+            delivered = outstanding.pop(wid, None)
             results.append(req.result)
-            outstanding.pop(wid, None)
+            if obs and delivered is not None:
+                emit("result", wid, start=delivered[0],
+                     stop=delivered[1])
         else:
             stale = outstanding.pop(wid, None)
             if stale is not None:
@@ -177,7 +209,7 @@ def master_loop(
             stats[wid] = req.stats
         if requeue:
             requeued += 1
-            send_assignment(wid, requeue.popleft())
+            send_assignment(wid, requeue.popleft(), detail="requeue")
             return
         vp, rq = worker_meta.get(wid, (1.0, 1))
         view = WorkerView(
@@ -190,6 +222,8 @@ def master_loop(
             # Work may reappear if a peer dies (or a chaos restart
             # brings one back): park this worker instead of terminating
             # it -- the simulator parks in the same situation.
+            if obs:
+                emit("park", wid)
             parked.append(wid)
         else:
             send_terminate(wid)
@@ -197,12 +231,20 @@ def master_loop(
             # parked peer immediately (no poll-timeout lag).
             drain_parked()
 
-    def drop_worker(wid: int) -> None:
+    def drop_worker(wid: int, detail: str = "death") -> None:
+        was_live = wid in live
         live.pop(wid, None)
         last_seen.pop(wid, None)
         if wid in parked:
             parked.remove(wid)
         lost = outstanding.pop(wid, None)
+        if was_live or lost is not None:
+            logger.warning(
+                "worker %d dropped (%s)%s", wid, detail,
+                f"; requeueing [{lost[0]}, {lost[1]})" if lost else "",
+            )
+            if obs:
+                emit("fault", wid, detail=detail)
         if lost is not None:
             # Remove the lost chunk from the log; it will re-enter when
             # reassigned, keeping `chunks` an exact execution record.
@@ -220,7 +262,7 @@ def master_loop(
             if wid not in live:
                 continue
             requeued += 1
-            send_assignment(wid, requeue.popleft())
+            send_assignment(wid, requeue.popleft(), detail="requeue")
         if not requeue and not outstanding and scheduler.finished \
                 and not hooks.expects_more():
             for wid in list(parked):
@@ -239,7 +281,7 @@ def master_loop(
         for wid in overdue:
             conn = live.get(wid)
             timeouts += 1
-            drop_worker(wid)
+            drop_worker(wid, detail="deadline")
             if conn is not None:
                 try:
                     conn.close()
@@ -266,6 +308,9 @@ def master_loop(
             last_seen[wid] = time.monotonic()
             if meta is not None:
                 worker_meta[wid] = meta
+            logger.info("worker %d admitted", wid)
+            if obs:
+                emit("restart", wid, detail="admission")
         drain_parked()
         if not live:
             time.sleep(config.restart_backoff)
@@ -289,6 +334,8 @@ def master_loop(
                 continue
             last_seen[wid] = time.monotonic()
             if isinstance(msg, Heartbeat):
+                if obs:
+                    emit("heartbeat", wid)
                 continue
             if isinstance(msg, Request):
                 handle_request(wid, msg)

@@ -26,10 +26,14 @@ import time
 from typing import Optional, Sequence
 
 from ..core.acp import IMPROVED_ACP, AcpModel
+from ..obs import NULL, JsonlCollector, ObsEvent
 from ..workloads import Workload
 from .messages import Assign, Heartbeat, Request, Terminate, WorkerStats
 
 __all__ = ["WorkerSpec", "worker_main"]
+
+#: Event-source tag for the unified observability stream.
+_SRC = "runtime.worker"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -85,6 +89,7 @@ def worker_main(
     acp_model: AcpModel = IMPROVED_ACP,
     heartbeat_interval: Optional[float] = None,
     delays: Optional[Sequence[tuple[float, float]]] = None,
+    obs_path: Optional[str] = None,
 ) -> None:
     """Run the request/compute loop until Terminate (process target).
 
@@ -92,6 +97,13 @@ def worker_main(
     :class:`Heartbeat` every that-many seconds, so the master's
     liveness deadline survives long chunks (see
     :class:`repro.runtime.config.RuntimeConfig`).
+
+    ``obs_path`` names a per-worker JSONL shard receiving this
+    process's half of the unified observability stream (source
+    ``runtime.worker``); the executor merges shards into the caller's
+    collector after the join.  The shard writer is thread-safe (the
+    heartbeat thread also emits) and appends with ``O_APPEND``, so a
+    killed worker leaves at most one torn trailing line.
 
     ``delays`` is a list of ``(at, extra)`` pairs (seconds since worker
     start): before the first request sent at/after ``at``, the worker
@@ -107,6 +119,16 @@ def worker_main(
         else None
     )
     pending: Optional[tuple[int, object]] = None
+    obs = JsonlCollector(obs_path, flush_every=1) if obs_path else NULL
+    born = time.perf_counter()
+
+    def obs_emit(kind: str, at: Optional[float] = None,
+                 **fields) -> None:
+        t = (time.perf_counter() if at is None else at) - born
+        obs.emit(ObsEvent(
+            kind, _SRC, t, worker_id, wall=time.time(), **fields,
+        ))
+
     # Heartbeats come from a side thread while the main loop computes;
     # the lock keeps the pipe's send side single-writer.
     send_lock = threading.Lock()
@@ -122,11 +144,12 @@ def worker_main(
                         conn.send(Heartbeat(worker_id=worker_id))
                     except (OSError, ValueError, BrokenPipeError):
                         return
+                if obs:
+                    obs_emit("heartbeat")
 
         heartbeat_thread = threading.Thread(target=_beat, daemon=True)
         heartbeat_thread.start()
     pending_delays = sorted(delays) if delays else []
-    born = time.perf_counter()
     try:
         while True:
             while pending_delays \
@@ -143,12 +166,21 @@ def worker_main(
             msg = conn.recv()
             stats.wait_seconds += time.perf_counter() - sent_at
             if isinstance(msg, Terminate):
+                if obs:
+                    obs_emit("terminate")
                 break
             assert isinstance(msg, Assign), f"unexpected message {msg!r}"
             t0 = time.perf_counter()
             payload = _execute_with_slowdown(
                 workload, msg.start, msg.stop, spec.slowdown
             )
+            if obs:
+                # Span anchored at the compute *start*, so the Chrome
+                # trace renders [t, t+value) as the busy interval.
+                obs_emit(
+                    "compute", at=t0, start=msg.start, stop=msg.stop,
+                    value=time.perf_counter() - t0,
+                )
             stats.compute_seconds += time.perf_counter() - t0
             stats.chunks += 1
             stats.iterations += msg.stop - msg.start
@@ -161,4 +193,5 @@ def worker_main(
         stop_heartbeat.set()
         if heartbeat_thread is not None:
             heartbeat_thread.join(timeout=1.0)
+        obs.close()
         conn.close()

@@ -43,6 +43,8 @@ import numpy as np
 
 from ..core import Scheduler, WorkerView, make
 from ..core.acp import IMPROVED_ACP, AcpModel
+from ..obs import ObsEvent
+from ..obs import resolve as _resolve_collector
 from ..workloads import Workload
 from .cluster import ClusterSpec, NodeSpec
 from .events import EventQueue, SimulationError
@@ -57,6 +59,9 @@ __all__ = [
 ]
 
 SchedulerLike = Union[str, Scheduler, Callable[[int, int], Scheduler]]
+
+#: Event-source tag for the unified observability stream.
+_SRC = "sim.master"
 
 
 class StarvationError(SimulationError):
@@ -141,7 +146,11 @@ class MasterSlaveSimulation(object):
         acp_model: AcpModel = IMPROVED_ACP,
         collect_results: bool = False,
         chaos=None,
+        collector=None,
     ) -> None:
+        #: unified event stream sink; falsy NullCollector when disabled,
+        #: so emission sites cost one truth test on the hot path.
+        self.obs = _resolve_collector(collector)
         if scheduler.workers != cluster.size:
             raise SimulationError(
                 f"scheduler built for {scheduler.workers} workers but "
@@ -269,6 +278,11 @@ class MasterSlaveSimulation(object):
             # same pause, accounted as wait time.
             _at, kind, extra = fault
             state.metrics.t_wait += extra
+            if self.obs:
+                self.obs.emit(ObsEvent(
+                    "fault", _SRC, t, state.index, value=extra,
+                    detail=kind,
+                ))
             self.queue.schedule_at(
                 t + extra,
                 self._alive_action(state, self._send_request),
@@ -289,6 +303,10 @@ class MasterSlaveSimulation(object):
             if self.scheduler.distributed
             else None
         )
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "request", _SRC, t, state.index, acp=acp,
+            ))
         self.queue.schedule_at(
             tx_start + tx,
             self._alive_action(
@@ -320,6 +338,11 @@ class MasterSlaveSimulation(object):
             self._last_result_arrival = max(
                 self._last_result_arrival, arrival
             )
+            if self.obs and state.unacked is not None:
+                self.obs.emit(ObsEvent(
+                    "result", _SRC, arrival, state.index,
+                    start=state.unacked[0], stop=state.unacked[1],
+                ))
             state.unacked = None  # results safely delivered
         service_start = max(arrival, self._master_free)
         service_end = service_start + self.cluster.master_service
@@ -345,6 +368,10 @@ class MasterSlaveSimulation(object):
             if self._work_may_reappear():
                 # A failing peer still holds undelivered results: park
                 # this worker; its reply comes when (if) work reappears.
+                if self.obs:
+                    self.obs.emit(ObsEvent(
+                        "park", _SRC, service_end, state.index,
+                    ))
                 self._parked.append(state)
                 return
             reply_tx = state.node.transfer_time(
@@ -363,6 +390,12 @@ class MasterSlaveSimulation(object):
         )
         state.metrics.t_wait += reply_start - service_end
         state.metrics.t_com += reply_tx
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "assign", _SRC, service_end, state.index,
+                start=assignment[0], stop=assignment[1],
+                stage=assignment[2], acp=assignment[3],
+            ))
         state.pending_chunk = assignment
         self.queue.schedule_at(
             reply_start + reply_tx,
@@ -381,6 +414,12 @@ class MasterSlaveSimulation(object):
         cost = self.workload.chunk_cost(start, stop)
         finish = integrate_compute(t, cost, state.node.speed,
                                    state.node.load)
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "compute", _SRC, t, state.index,
+                start=start, stop=stop, stage=stage, acp=acp,
+                value=finish - t,
+            ))
         state.metrics.t_comp += finish - t
         state.metrics.chunks += 1
         state.metrics.iterations += stop - start
@@ -409,6 +448,10 @@ class MasterSlaveSimulation(object):
     def _worker_terminate(self, state: _WorkerState) -> None:
         state.done = True
         state.metrics.finished_at = self.queue.now
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "terminate", _SRC, self.queue.now, state.index,
+            ))
 
     # -- failure injection --------------------------------------------------
 
@@ -438,6 +481,10 @@ class MasterSlaveSimulation(object):
         state.done = True
         state.epoch += 1
         state.metrics.finished_at = t
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "fault", _SRC, t, state.index, detail="death",
+            ))
         lost: list[tuple[int, int]] = []
         if state.pending_chunk is not None:
             start, stop, _stage, _acp = state.pending_chunk
@@ -495,12 +542,24 @@ class MasterSlaveSimulation(object):
         state.pending_chunk = None
         state.unacked = None
         state.pending_piggyback = 0.0
+        if self.obs:
+            self.obs.emit(ObsEvent("restart", _SRC, t, state.index))
         if self.scheduler.distributed:
-            self.scheduler.observe_acp(state.index, self._acp_now(state, t))
+            acp = self._acp_now(state, t)
+            self.scheduler.observe_acp(state.index, acp)
+            if self.obs:
+                self.obs.emit(ObsEvent(
+                    "acp-update", _SRC, t, state.index, acp=acp,
+                ))
         self._send_request(state)
 
     def _master_stall(self, duration: float) -> None:
         """The master serves nothing for ``duration`` from now."""
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "fault", _SRC, self.queue.now, value=float(duration),
+                detail="stall",
+            ))
         self._master_free = max(
             self._master_free, self.queue.now + float(duration)
         )
@@ -514,6 +573,12 @@ class MasterSlaveSimulation(object):
             start, stop = self._requeue.popleft()
             reply_tx = state.node.transfer_time(self.cluster.reply_bytes)
             state.metrics.t_com += reply_tx
+            if self.obs:
+                self.obs.emit(ObsEvent(
+                    "assign", _SRC, self.queue.now, state.index,
+                    start=start, stop=stop, stage=0,
+                    detail="requeue",
+                ))
             state.pending_chunk = (start, stop, 0, None)
             self.queue.schedule(
                 reply_tx,
@@ -600,7 +665,12 @@ class MasterSlaveSimulation(object):
                     "Sec. 5.2 scaled ACP model avoids"
                 )
             for s in self._participants:
-                self.scheduler.observe_acp(s.index, self._acp_now(s, 0.0))
+                acp = self._acp_now(s, 0.0)
+                self.scheduler.observe_acp(s.index, acp)
+                if self.obs:
+                    self.obs.emit(ObsEvent(
+                        "acp-update", _SRC, 0.0, s.index, acp=acp,
+                    ))
         else:
             self._participants = list(self.workers)
         self._schedule_faults()
@@ -648,6 +718,7 @@ def simulate(
     acp_model: AcpModel = IMPROVED_ACP,
     collect_results: bool = False,
     chaos=None,
+    collector=None,
     **scheme_kwargs,
 ) -> SimResult:
     """Simulate one run of ``scheme`` over ``workload`` on ``cluster``.
@@ -676,5 +747,6 @@ def simulate(
         acp_model=acp_model,
         collect_results=collect_results,
         chaos=chaos,
+        collector=collector,
     )
     return sim.run()

@@ -79,6 +79,10 @@ class SimResult(object):
     results: Optional[np.ndarray] = None
     rederivations: int = 0
     events: int = 0
+    #: unified observability trace (list of :class:`repro.obs.ObsEvent`)
+    #: when the run was asked to collect one; ``events`` above predates
+    #: the trace layer and counts *simulator queue* events, not these.
+    obs_events: Optional[list] = None
 
     @property
     def total_iterations(self) -> int:

@@ -33,6 +33,8 @@ from typing import Optional
 import numpy as np
 
 from ..core.tree import TreePartition, partner_order
+from ..obs import ObsEvent
+from ..obs import resolve as _resolve_collector
 from ..workloads import Workload
 from .cluster import ClusterSpec, NodeSpec
 from .events import EventQueue, SimulationError
@@ -40,6 +42,9 @@ from .loadgen import integrate_compute
 from .metrics import ChunkRecord, SimResult, WorkerMetrics
 
 __all__ = ["simulate_tree", "TreeSimulation"]
+
+#: Event-source tag for the unified observability stream.
+_SRC = "sim.tree"
 
 
 @dataclasses.dataclass
@@ -129,7 +134,9 @@ class TreeSimulation(object):
         min_steal: int = 2,
         collect_results: bool = False,
         chaos=None,
+        collector=None,
     ) -> None:
+        self.obs = _resolve_collector(collector)
         if flush_interval <= 0:
             raise SimulationError("flush_interval must be > 0")
         if grain < 1:
@@ -240,6 +247,11 @@ class TreeSimulation(object):
 
     def _master_stall(self, duration: float) -> None:
         """The master's NIC accepts nothing for ``duration`` from now."""
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "fault", _SRC, self.queue.now, value=float(duration),
+                detail="stall",
+            ))
         self._master_link_free = max(
             self._master_link_free, self.queue.now + float(duration)
         )
@@ -256,6 +268,10 @@ class TreeSimulation(object):
         w.dead = True
         w.epoch += 1
         w.metrics.finished_at = t
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "fault", _SRC, t, w.index, detail="death",
+            ))
         lost = list(w.unflushed) + list(w.inflight)
         w.unflushed.clear()
         w.inflight.clear()
@@ -309,6 +325,8 @@ class TreeSimulation(object):
         w.pending_items = 0
         w.unflushed.clear()
         w.inflight.clear()
+        if self.obs:
+            self.obs.emit(ObsEvent("restart", _SRC, t, w.index))
         # Rejoin handshake, then resume whatever is left of the queue
         # (or sweep partners if it was emptied while dead).
         delay = w.node.transfer_time(self.cluster.reply_bytes)
@@ -355,6 +373,11 @@ class TreeSimulation(object):
         start, stop = block
         cost = self.workload.chunk_cost(start, stop)
         finish = integrate_compute(t, cost, w.node.speed, w.node.load)
+        if self.obs:
+            self.obs.emit(ObsEvent(
+                "compute", _SRC, t, w.index, start=start, stop=stop,
+                value=finish - t,
+            ))
         w.metrics.t_comp += finish - t
         w.metrics.iterations += stop - start
         w.metrics.chunks += 1
@@ -383,6 +406,10 @@ class TreeSimulation(object):
             # Chaos delay/loss: the flush leaves (or retransmits) late.
             _at, kind, extra = fault
             w.metrics.t_wait += extra
+            if self.obs:
+                self.obs.emit(ObsEvent(
+                    "fault", _SRC, t, w.index, value=extra, detail=kind,
+                ))
             self.queue.schedule_at(
                 t + extra,
                 self._alive_action(w, self._flush, final),
@@ -417,6 +444,12 @@ class TreeSimulation(object):
                 # Fail-stop: the flush died on the wire with its sender
                 # (the death handler rolled the blocks back).
                 return
+            if self.obs:
+                for blk_start, blk_stop in s.inflight:
+                    self.obs.emit(ObsEvent(
+                        "result", _SRC, self.queue.now, s.index,
+                        start=blk_start, stop=blk_stop,
+                    ))
             s.inflight.clear()
             if items:
                 self._last_result_arrival = max(
@@ -425,6 +458,10 @@ class TreeSimulation(object):
             if final:
                 s.done = True
                 s.metrics.finished_at = self.queue.now
+                if self.obs:
+                    self.obs.emit(ObsEvent(
+                        "terminate", _SRC, self.queue.now, s.index,
+                    ))
 
         self.queue.schedule_at(arrival, arrive, kind="flush-arrival")
         if not final:
@@ -478,6 +515,12 @@ class TreeSimulation(object):
                 self._try_steal(thief)
             else:
                 self._steals += 1
+                if self.obs:
+                    self.obs.emit(ObsEvent(
+                        "steal", _SRC, self.queue.now, thief.index,
+                        start=stolen[0], stop=stolen[1],
+                        detail=f"victim={victim.index}",
+                    ))
                 thief.ranges.append([stolen[0], stolen[1]])
                 self._compute_next(thief)
 
@@ -536,6 +579,7 @@ def simulate_tree(
     min_steal: int = 2,
     collect_results: bool = False,
     chaos=None,
+    collector=None,
 ) -> SimResult:
     """Simulate one TreeS run (see :class:`TreeSimulation`).
 
@@ -552,4 +596,5 @@ def simulate_tree(
         min_steal=min_steal,
         collect_results=collect_results,
         chaos=chaos,
+        collector=collector,
     ).run()

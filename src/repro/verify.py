@@ -24,10 +24,14 @@ and (for simulations) when.  The auditor checks the invariants that any
 
 :func:`audit_sim` audits a :class:`~repro.simulation.SimResult`,
 :func:`audit_run` a runtime :class:`~repro.runtime.RunResult` (or
-:class:`~repro.runtime.MasterResult`).  Both return an
-:class:`AuditReport`; ``report.raise_if_failed()`` turns violations
-into an :class:`AuditError`.  The ``repro-experiments verify-chaos``
-command and the test-suite fixtures are thin wrappers over these.
+:class:`~repro.runtime.MasterResult`), and :func:`audit_events` the
+unified observability stream itself (see :mod:`repro.obs`) -- the same
+coverage, sanity, and conformance core applied to ``result`` events, so
+a trace captured from *any* substrate can be proof-checked without the
+substrate's native result object.  All return an :class:`AuditReport`;
+``report.raise_if_failed()`` turns violations into an
+:class:`AuditError`.  The ``repro-experiments verify-chaos`` command
+and the test-suite fixtures are thin wrappers over these.
 """
 
 from __future__ import annotations
@@ -39,11 +43,13 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from .core import Scheduler, WorkerView, make
+from .obs.events import ObsEvent, SchemaError, validate_event
 
 __all__ = [
     "AuditError",
     "AuditReport",
     "audit_chunks",
+    "audit_events",
     "audit_sim",
     "audit_run",
     "replay_cut_points",
@@ -58,6 +64,15 @@ _EPS = 1e-9
 #: ladders (FSS/FISS/TFSS) descend per-PE, WF weighs by requester, and
 #: the distributed family consumes runtime ACP reports.
 _ORDER_INVARIANT = frozenset({"S", "BC", "SS", "CSS", "GSS", "TSS"})
+
+#: Event sources whose ``t`` values share one monotone clock for the
+#: whole run (virtual simulation time, or the master's single
+#: ``monotonic`` base).  Worker-process sources are excluded: each
+#: incarnation stamps ``t`` from its own birth, so a chaos respawn
+#: legitimately resets the clock.
+_MONOTONE_SOURCES = frozenset(
+    {"sim.master", "sim.tree", "sim.decentral", "runtime.master"}
+)
 
 
 class AuditError(AssertionError):
@@ -401,6 +416,97 @@ def audit_run(
         if nworkers is None:
             nworkers = max(
                 (worker for worker, _s, _e in run.chunks), default=0
+            ) + 1
+        _check_conformance(
+            spans, scheme, total, nworkers, report, **scheme_kwargs
+        )
+    return report
+
+
+def audit_events(
+    events: Iterable,
+    total: Optional[int] = None,
+    scheme: Optional[str | Scheduler] = None,
+    workers: Optional[int] = None,
+    subject: str = "events",
+    **scheme_kwargs,
+) -> AuditReport:
+    """Audit a unified observability stream (see :mod:`repro.obs`).
+
+    ``events`` is any iterable of :class:`~repro.obs.ObsEvent` (or
+    their ``to_dict`` forms, e.g. straight from
+    :func:`~repro.obs.read_jsonl`) -- a :class:`~repro.obs.capture`
+    buffer, a merged trace file, anything.  The audit needs nothing
+    else: the ``result`` events alone carry the exactly-once ledger,
+    so the same coverage / sanity / policy-conformance core that
+    :func:`audit_sim` and :func:`audit_run` apply to native result
+    objects runs here on the trace every substrate emits.
+
+    Checks, in order: every event satisfies the :mod:`repro.obs`
+    schema; ``result`` intervals tile ``[0, total)`` exactly once;
+    per-worker ``result`` event times are non-decreasing within each
+    event source (time bases differ *across* sources, so only
+    within-source order is meaningful); and, with ``scheme``, the cut
+    points match a pure scheduler replay.
+    """
+    report = AuditReport(subject=subject)
+    evs: list[ObsEvent] = []
+    report.checks.append("schema")
+    for ev in events:
+        if not isinstance(ev, ObsEvent):
+            try:
+                ev = ObsEvent.from_dict(ev)
+            except (SchemaError, TypeError, KeyError) as exc:
+                if len(report.violations) < 5:
+                    report.violations.append(f"undecodable event: {exc}")
+                continue
+        try:
+            validate_event(ev)
+        except SchemaError as exc:
+            if len(report.violations) < 5:
+                report.violations.append(str(exc))
+            continue
+        evs.append(ev)
+    if report.violations:
+        return report
+
+    results = [e for e in evs if e.kind == "result"]
+    spans = [(e.start, e.stop) for e in results]
+    if total is None:
+        total = max((stop for _start, stop in spans), default=0)
+    _check_coverage(spans, total, report)
+
+    report.checks.append("event-times")
+    last_t: dict[tuple[str, int], float] = {}
+    for ev in results:
+        if ev.t < -_EPS:
+            report.violations.append(
+                f"result [{ev.start}, {ev.stop}) carries negative "
+                f"time t={ev.t:.6f}"
+            )
+        if ev.source not in _MONOTONE_SOURCES:
+            # Worker-process clocks restart from zero on a chaos
+            # respawn, so cross-incarnation order is not meaningful.
+            continue
+        key = (ev.source, ev.worker)
+        prev = last_t.get(key)
+        if prev is not None and ev.t < prev - _EPS:
+            report.violations.append(
+                f"{ev.source} worker {ev.worker} result times regress: "
+                f"[{ev.start}, {ev.stop}) at t={ev.t:.6f} after "
+                f"t={prev:.6f}"
+            )
+        last_t[key] = ev.t
+
+    if scheme is not None and report.ok:
+        nworkers = workers
+        if nworkers is None:
+            # Infer from *every* event, not just results: a fast worker
+            # can drain the whole loop before its peers claim anything,
+            # but the idle peers still emit request/heartbeat/acp
+            # events, and TSS-family ladders depend on the true count.
+            nworkers = max(
+                (e.worker for e in evs if e.worker >= 0), default=0
             ) + 1
         _check_conformance(
             spans, scheme, total, nworkers, report, **scheme_kwargs

@@ -1,0 +1,92 @@
+"""audit_events: the trace auditor consuming only the unified stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import ObsEvent
+from repro.verify import AuditError, audit_events
+
+
+def _result(start, stop, t=0.0, worker=0, source="sim.master"):
+    return ObsEvent("result", source, t, worker=worker,
+                    start=start, stop=stop)
+
+
+def test_clean_stream_passes():
+    events = [
+        ObsEvent("request", "sim.master", 0.0, worker=0),
+        _result(0, 4, t=0.5),
+        _result(4, 10, t=1.0, worker=1),
+    ]
+    report = audit_events(events, total=10)
+    assert report.ok
+    assert "schema" in report.checks and "coverage" in report.checks
+
+
+def test_accepts_dict_events():
+    events = [_result(0, 10).to_dict()]
+    assert audit_events(events, total=10).ok
+
+
+def test_gap_and_overlap_are_violations():
+    gap = audit_events([_result(0, 4), _result(6, 10)], total=10)
+    assert not gap.ok and any("gap" in v for v in gap.violations)
+    overlap = audit_events([_result(0, 6), _result(4, 10)], total=10)
+    assert not overlap.ok
+    assert any("overlap" in v for v in overlap.violations)
+    with pytest.raises(AuditError):
+        overlap.raise_if_failed()
+
+
+def test_schema_violations_short_circuit():
+    report = audit_events(
+        [ObsEvent("banana", "sim.master", 0.0)], total=0
+    )
+    assert not report.ok
+    assert report.checks == ["schema"]
+
+
+def test_single_clock_sources_must_not_regress():
+    events = [_result(0, 5, t=2.0), _result(5, 10, t=1.0)]
+    report = audit_events(events, total=10)
+    assert any("regress" in v for v in report.violations)
+
+
+def test_worker_process_clocks_may_reset():
+    # a chaos respawn restarts the per-process clock: legal
+    events = [
+        _result(0, 5, t=2.0, source="runtime.decentral"),
+        _result(5, 10, t=0.1, source="runtime.decentral"),
+    ]
+    assert audit_events(events, total=10).ok
+
+
+def test_conformance_replay_catches_moved_cut_points():
+    # GSS on 10 iterations, 2 workers: 5, 3, 1, 1 -> cuts {0,5,8,9,10}
+    good = [
+        ObsEvent("request", "sim.master", 0.0, worker=1),
+        _result(0, 5), _result(5, 8, worker=1),
+        _result(8, 9), _result(9, 10, worker=1),
+    ]
+    assert audit_events(good, total=10, scheme="GSS").ok
+    moved = [
+        ObsEvent("request", "sim.master", 0.0, worker=1),
+        _result(0, 6), _result(6, 8, worker=1),
+        _result(8, 9), _result(9, 10, worker=1),
+    ]
+    report = audit_events(moved, total=10, scheme="GSS")
+    assert any("diverge" in v for v in report.violations)
+
+
+def test_worker_count_inferred_from_all_event_kinds():
+    # GSS on 10 iterations with THREE workers cuts 4, 2, 2, 1, 1 --
+    # but worker 2 never won a chunk.  Its request event must still
+    # count toward the replay's worker count, or the auditor would
+    # replay a two-worker ladder and report a phantom divergence.
+    events = [
+        ObsEvent("request", "sim.master", 0.0, worker=2),
+        _result(0, 4), _result(4, 6, worker=1),
+        _result(6, 8), _result(8, 9, worker=1), _result(9, 10),
+    ]
+    assert audit_events(events, total=10, scheme="GSS").ok

@@ -1,0 +1,87 @@
+"""Schema tests: the unified event model itself."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    EVENT_KINDS,
+    LIFECYCLE_KINDS,
+    SOURCES,
+    ObsEvent,
+    SchemaError,
+    validate_event,
+)
+
+
+def test_lifecycle_spine_is_a_subset_of_kinds():
+    assert LIFECYCLE_KINDS <= EVENT_KINDS
+    assert LIFECYCLE_KINDS == {"request", "assign", "compute", "result"}
+
+
+def test_every_substrate_has_a_source_tag():
+    assert {
+        "sim.master", "sim.tree", "sim.decentral",
+        "runtime.master", "runtime.worker", "runtime.decentral",
+        "chaos",
+    } == SOURCES
+
+
+def test_minimal_event_validates():
+    ev = ObsEvent("request", "sim.master", 0.0, worker=2)
+    assert validate_event(ev) is ev
+
+
+def test_interval_kinds_require_nonempty_interval():
+    for kind in ("compute", "result", "steal", "repair"):
+        with pytest.raises(SchemaError):
+            validate_event(ObsEvent(kind, "sim.master", 0.0, worker=0))
+        with pytest.raises(SchemaError):
+            validate_event(
+                ObsEvent(kind, "sim.master", 0.0, worker=0,
+                         start=5, stop=5)
+            )
+        validate_event(
+            ObsEvent(kind, "sim.master", 0.0, worker=0, start=5, stop=6)
+        )
+
+
+@pytest.mark.parametrize("bad", [
+    ObsEvent("banana", "sim.master", 0.0),
+    ObsEvent("request", "sim.banana", 0.0),
+    ObsEvent("request", "sim.master", -1.0),
+    ObsEvent("fault", "chaos", 0.0),              # fault without detail
+    ObsEvent("assign", "sim.master", 0.0, start=9, stop=3),
+    ObsEvent("compute", "sim.master", 0.0, start=0, stop=4, value=-2.0),
+])
+def test_invalid_events_raise(bad):
+    with pytest.raises(SchemaError):
+        validate_event(bad)
+
+
+def test_dict_round_trip_is_exact():
+    ev = ObsEvent("compute", "runtime.worker", 1.25, worker=3,
+                  start=10, stop=20, stage=2, acp=7, value=0.5,
+                  detail="x", wall=123.0)
+    assert ObsEvent.from_dict(ev.to_dict()) == ev
+
+
+def test_dict_form_omits_defaults():
+    doc = ObsEvent("request", "sim.master", 0.5).to_dict()
+    assert doc == {"kind": "request", "source": "sim.master", "t": 0.5}
+
+
+def test_from_dict_missing_required_field_raises():
+    with pytest.raises(SchemaError):
+        ObsEvent.from_dict({"kind": "request", "t": 0.0})
+
+
+def test_events_are_immutable_and_picklable():
+    import dataclasses
+
+    ev = ObsEvent("result", "sim.tree", 2.0, worker=1, start=0, stop=4)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        ev.t = 3.0  # type: ignore[misc]
+    assert pickle.loads(pickle.dumps(ev)) == ev

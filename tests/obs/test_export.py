@@ -1,0 +1,99 @@
+"""Exporter tests: JSONL round-trip, Chrome trace, canonical stream."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    ObsEvent,
+    canonical_stream,
+    read_jsonl,
+    stream_digest,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+EVENTS = [
+    ObsEvent("request", "sim.master", 0.0, worker=0),
+    ObsEvent("assign", "sim.master", 0.1, worker=0, start=0, stop=8),
+    ObsEvent("compute", "sim.master", 0.1, worker=0, start=0, stop=8,
+             value=0.4),
+    ObsEvent("result", "sim.master", 0.5, worker=0, start=0, stop=8),
+    ObsEvent("fault", "chaos", 0.6, worker=1, detail="death"),
+    ObsEvent("result", "sim.master", 0.9, worker=2, start=8, stop=12),
+    ObsEvent("terminate", "sim.master", 1.0, worker=0),
+]
+
+
+def test_jsonl_round_trip_text_and_file(tmp_path):
+    text = to_jsonl(EVENTS)
+    assert read_jsonl(text) == EVENTS
+    path = tmp_path / "t.jsonl"
+    assert write_jsonl(path, EVENTS) == len(EVENTS)
+    assert read_jsonl(path) == EVENTS
+
+
+def test_read_jsonl_tolerates_torn_tail_only(tmp_path):
+    path = tmp_path / "torn.jsonl"
+    path.write_text(to_jsonl(EVENTS[:2]) + '{"kind": "requ')
+    assert read_jsonl(path) == EVENTS[:2]
+    # corruption *mid-file* is a real error, not a torn tail
+    bad = tmp_path / "corrupt.jsonl"
+    bad.write_text('garbage\n' + to_jsonl(EVENTS[:1]))
+    with pytest.raises(json.JSONDecodeError):
+        read_jsonl(bad)
+
+
+def test_chrome_trace_layout(tmp_path):
+    doc = to_chrome_trace(EVENTS)
+    trace = doc["traceEvents"]
+    # one process per source, named
+    procs = {e["args"]["name"] for e in trace
+             if e.get("name") == "process_name"}
+    assert procs == {"sim.master", "chaos"}
+    # compute spans are complete events with microsecond durations
+    spans = [e for e in trace if e["ph"] == "X"]
+    assert len(spans) == 1
+    assert spans[0]["dur"] == pytest.approx(0.4 * 1e6)
+    assert spans[0]["ts"] == pytest.approx(0.1 * 1e6)
+    # everything else renders as instants
+    instants = [e for e in trace if e["ph"] == "i"]
+    assert len(instants) == len(EVENTS) - 1
+    # the fault instant carries its detail in the name
+    assert any(e["name"] == "fault:death" for e in instants)
+    # and the whole document is plain JSON
+    out = tmp_path / "chrome.json"
+    write_chrome_trace(out, EVENTS)
+    assert json.loads(out.read_text())["traceEvents"]
+
+
+def test_canonical_stream_keeps_only_sorted_result_intervals():
+    rows = canonical_stream(EVENTS)
+    assert rows == [
+        {"kind": "result", "start": 0, "stop": 8},
+        {"kind": "result", "start": 8, "stop": 12},
+    ]
+
+
+def test_stream_digest_ignores_clocks_workers_and_sources():
+    shifted = [
+        ObsEvent("result", "runtime.decentral", ev.t + 17.0,
+                 worker=ev.worker + 5, start=ev.start, stop=ev.stop,
+                 wall=1e9)
+        for ev in EVENTS if ev.kind == "result"
+    ]
+    assert stream_digest(shifted) == stream_digest(EVENTS)
+    # but a moved cut point changes it
+    moved = shifted[:-1] + [
+        ObsEvent("result", "runtime.decentral", 0.0, worker=0,
+                 start=8, stop=13),
+    ]
+    assert stream_digest(moved) != stream_digest(EVENTS)
+
+
+def test_stream_digest_is_order_insensitive():
+    assert stream_digest(list(reversed(EVENTS))) == stream_digest(EVENTS)

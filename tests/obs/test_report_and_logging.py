@@ -1,0 +1,99 @@
+"""trace_report rendering and the structured-logging layer."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs import (
+    ObsEvent,
+    capture,
+    configure_logging,
+    get_logger,
+    stream_digest,
+    summarize_workers,
+    trace_report,
+    write_artifact,
+)
+from repro.obs.logutil import ENV_LOG_LEVEL, resolve_level
+from repro.simulation import ClusterSpec, NodeSpec, simulate
+from repro.workloads import UniformWorkload
+
+
+def _trace():
+    wl = UniformWorkload(size=90, unit=1e-5)
+    cluster = ClusterSpec(
+        nodes=[NodeSpec(name=f"n{i}", speed=100.0) for i in range(3)]
+    )
+    with capture() as trace:
+        simulate("GSS", wl, cluster, collector=trace)
+    return trace.events
+
+
+def test_trace_report_contains_table_census_and_digest():
+    events = _trace()
+    text = trace_report(events, title="my run")
+    assert text.startswith("my run -- ")
+    assert "worker" in text and "chunks" in text
+    assert "events: " in text
+    assert f"canonical stream sha256: {stream_digest(events)}" in text
+
+
+def test_trace_report_empty():
+    assert trace_report([], title="t") == "t: (empty trace)"
+
+
+def test_summarize_workers_counts_lifecycle():
+    events = _trace()
+    summaries = summarize_workers(events)
+    assert set(summaries) == {0, 1, 2}
+    assert sum(s.iterations for s in summaries.values()) == 90
+    assert all(s.busy > 0 for s in summaries.values())
+
+
+def test_loggers_live_under_the_repro_root():
+    assert get_logger("repro.x").name == "repro.x"
+    assert get_logger("other.mod").name == "repro.other.mod"
+
+
+def test_resolve_level(monkeypatch):
+    monkeypatch.delenv(ENV_LOG_LEVEL, raising=False)
+    assert resolve_level() == logging.WARNING
+    assert resolve_level("debug") == logging.DEBUG
+    assert resolve_level(17) == 17
+    monkeypatch.setenv(ENV_LOG_LEVEL, "info")
+    assert resolve_level() == logging.INFO
+    with pytest.raises(ValueError):
+        resolve_level("shouty")
+
+
+def test_configure_logging_is_idempotent(capsys):
+    root = configure_logging("info")
+    configure_logging("info")
+    structured = [
+        h for h in root.handlers
+        if getattr(h, "_repro_structured", False)
+    ]
+    assert len(structured) == 1
+    get_logger("repro.test").info("hello from the layer")
+    captured = capsys.readouterr()
+    assert captured.err.count("hello from the layer") == 1
+    assert captured.out == ""
+
+
+def test_log_level_threshold(capsys):
+    configure_logging("warning")
+    get_logger("repro.test").info("quiet")
+    get_logger("repro.test").warning("loud")
+    captured = capsys.readouterr()
+    assert "quiet" not in captured.err
+    assert "loud" in captured.err
+
+
+def test_write_artifact_goes_to_stdout_verbatim(capsys):
+    configure_logging("warning")
+    write_artifact("TABLE 1\n  row")
+    captured = capsys.readouterr()
+    assert captured.out == "TABLE 1\n  row\n"
+    assert "TABLE" not in captured.err
