@@ -1,0 +1,83 @@
+"""Compare two benchmark JSON documents and fail on regression.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_baseline.json new.json \
+        [--tolerance 0.30]
+
+Both files are ``REPRO_BENCH_OUT`` documents (see
+``benchmarks/conftest.py``).  The comparison is on the **speedup
+ratio** per case, not absolute wall time: ratios are dimensionless
+(fast path vs DES on the *same* machine in the *same* session), so the
+committed baseline transfers across hardware where milliseconds would
+not.  A case regresses when its new ratio drops more than
+``--tolerance`` (default 30%) below the baseline ratio; cases present
+in only one document are reported but do not fail, so adding a case
+and committing the refreshed baseline is a one-PR operation.
+
+Exit status: 0 clean, 1 on any regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)["cases"]
+
+
+def compare(baseline: dict, new: dict, tolerance: float) -> list[str]:
+    """Human-readable regression lines (empty = clean)."""
+    regressions = []
+    for case in sorted(baseline):
+        if case not in new:
+            print(f"  ~ {case}: missing from new run (skipped)")
+            continue
+        old_ratio = baseline[case]["speedup"]
+        new_ratio = new[case]["speedup"]
+        floor = old_ratio * (1.0 - tolerance)
+        status = "ok" if new_ratio >= floor else "REGRESSION"
+        print(f"  {'-' if status == 'ok' else '!'} {case}: "
+              f"baseline {old_ratio:.2f}x, now {new_ratio:.2f}x "
+              f"(floor {floor:.2f}x) {status}")
+        if new_ratio < floor:
+            regressions.append(
+                f"{case}: {old_ratio:.2f}x -> {new_ratio:.2f}x "
+                f"(allowed floor {floor:.2f}x)"
+            )
+    for case in sorted(set(new) - set(baseline)):
+        print(f"  + {case}: new case, {new[case]['speedup']:.2f}x "
+              f"(no baseline)")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed reference JSON")
+    parser.add_argument("new", help="freshly measured JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional drop in per-case speedup "
+             "(default 0.30 = 30%%)",
+    )
+    args = parser.parse_args(argv)
+    print(f"comparing {args.new} against {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    regressions = compare(
+        load_cases(args.baseline), load_cases(args.new), args.tolerance
+    )
+    if regressions:
+        print("\nspeedup regressions detected:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

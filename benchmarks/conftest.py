@@ -5,13 +5,55 @@ calibration keeps the paper's virtual timescale and communication
 balance, so table/figure *shapes* are preserved) and print the
 regenerated artifact once per session so `pytest benchmarks/
 --benchmark-only` doubles as the reproduction report.
+
+Machine-readable output: benchmarks record per-case measurements
+through the :func:`bench_record` fixture, and when ``REPRO_BENCH_OUT``
+names a file the session writes them there as one JSON document
+(``{"cases": {case: {fields...}}}``).  ``BENCH_baseline.json`` at the
+repo root is such a document, committed as the reference the CI
+bench-smoke job compares against (see ``benchmarks/compare_bench.py``).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import sys
+
 import pytest
 
 from repro.experiments import paper_workload
+
+#: Environment variable naming the JSON file the session writes.
+ENV_BENCH_OUT = "REPRO_BENCH_OUT"
+
+#: Case -> measurement dict, accumulated across the session.
+_RECORDS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Record one benchmark case for the session's JSON document."""
+
+    def record(case: str, **fields) -> None:
+        _RECORDS[case] = fields
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out = os.environ.get(ENV_BENCH_OUT)
+    if not out or not _RECORDS:
+        return
+    doc = {
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "cases": {case: _RECORDS[case] for case in sorted(_RECORDS)},
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 #: Reduced window used by the benchmark harness (quarter scale).
 BENCH_WIDTH = 1000

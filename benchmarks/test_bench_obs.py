@@ -1,16 +1,22 @@
 """Bench obs: the disabled observability path must stay ~free.
 
-Two guards back the "zero-cost off switch" claim in ``repro.obs``:
+Two guards back the "zero-cost off switch" claim in ``repro.obs``,
+applied to every simulation substrate (master DES, decentral counter
+engine, tree engine):
 
 * **structural** -- a run without a collector must construct zero
   :class:`~repro.obs.ObsEvent` objects: every emission site gates on
   the falsy :class:`~repro.obs.NullCollector`, so the disabled path
   pays one truth test and nothing else;
-* **timing** -- the summed cost of those truth tests stays under 2%
+* **timing** -- the summed cost of those truth tests stays under 1%
   of the reference simulation's runtime.  The bound composes a
   min-of-N measurement of the gate cost with the run's actual event
   count, which is robust where a direct A/B of two full runs would be
   noise-bound (the gate itself is nanoseconds).
+
+The 1% budget is what lets the analytic fast path (and the DES hot
+loop) keep unconditional ``if self.obs:`` guards instead of compiling
+two variants of every handler.
 """
 
 from __future__ import annotations
@@ -18,8 +24,12 @@ from __future__ import annotations
 import time
 import timeit
 
-from repro.obs import NULL, BufferedCollector, ObsEvent, capture
+import pytest
+
+from repro.decentral import simulate_decentral
+from repro.obs import BufferedCollector, ObsEvent, capture
 from repro.simulation import ClusterSpec, NodeSpec, simulate
+from repro.simulation.tree_engine import simulate_tree
 from repro.workloads import UniformWorkload
 
 #: Reference run: big enough to dominate per-call overheads.
@@ -32,6 +42,20 @@ def _cluster(n=4):
     )
 
 
+#: substrate name -> run(collector) callable, one per sim engine.
+SUBSTRATES = {
+    # fast=False pins the DES: the fast path is *rejected* when a
+    # collector is attached, so the apples-to-apples gate count must
+    # come from the engine that actually runs in both modes.
+    "master": lambda collector=None: simulate(
+        "TSS", WL, _cluster(), collector=collector, fast=False),
+    "decentral": lambda collector=None: simulate_decentral(
+        "TSS", WL, _cluster(), collector=collector, fast=False),
+    "tree": lambda collector=None: simulate_tree(
+        WL, _cluster(), weighted=True, grain=4, collector=collector),
+}
+
+
 def _min_of(fn, repeats=5):
     best = float("inf")
     for _ in range(repeats):
@@ -41,7 +65,9 @@ def _min_of(fn, repeats=5):
     return best
 
 
-def test_disabled_path_constructs_no_events(monkeypatch):
+@pytest.mark.parametrize("substrate", sorted(SUBSTRATES))
+def test_disabled_path_constructs_no_events(substrate, monkeypatch):
+    run = SUBSTRATES[substrate]
     constructed = []
     orig_init = ObsEvent.__init__
 
@@ -50,41 +76,48 @@ def test_disabled_path_constructs_no_events(monkeypatch):
         orig_init(self, *args, **kwargs)
 
     monkeypatch.setattr(ObsEvent, "__init__", counting_init)
-    simulate("TSS", WL, _cluster())
+    run()
     assert constructed == [], (
-        f"disabled run constructed {len(constructed)} events -- an "
-        f"emission site is missing its `if self.obs:` gate"
+        f"{substrate}: disabled run constructed {len(constructed)} "
+        f"events -- an emission site is missing its `if self.obs:` gate"
     )
     # sanity: the counter does count when a collector is attached
     with capture() as trace:
-        simulate("TSS", WL, _cluster(), collector=trace)
+        run(collector=trace)
     assert len(constructed) == len(trace.events) > 0
 
 
-def test_null_collector_overhead_under_two_percent():
-    run_seconds = _min_of(lambda: simulate("TSS", WL, _cluster()))
+@pytest.mark.parametrize("substrate", sorted(SUBSTRATES))
+def test_null_collector_overhead_under_one_percent(substrate):
+    run = SUBSTRATES[substrate]
+    run_seconds = _min_of(run)
     # events the run *would* emit = gates the disabled run evaluates
     with capture() as trace:
-        simulate("TSS", WL, _cluster(), collector=trace)
+        run(collector=trace)
     gates = len(trace.events)
-    # min-of-N cost of one `if NULL:` truth test
+    # min-of-N cost of one gate as the engines actually write it:
+    # `if self.observing:` on the cached plain bool (set once at
+    # construction), not a NullCollector.__bool__ method call.
+    sim = type("S", (), {})()
+    sim.observing = False
     per_gate = min(
-        timeit.repeat("bool(sink)", globals={"sink": NULL},
-                      number=10_000, repeat=5)
+        timeit.repeat("(1 if s.observing else 0)",
+                      globals={"s": sim}, number=10_000, repeat=5)
     ) / 10_000
     overhead = gates * per_gate
-    assert overhead < 0.02 * run_seconds, (
-        f"{gates} gates x {per_gate:.2e}s = {overhead:.6f}s exceeds "
-        f"2% of the {run_seconds:.4f}s reference run"
+    assert overhead < 0.01 * run_seconds, (
+        f"{substrate}: {gates} gates x {per_gate:.2e}s = "
+        f"{overhead:.6f}s exceeds 1% of the {run_seconds:.4f}s "
+        f"reference run"
     )
 
 
 def test_buffered_collection_cost_is_bounded():
     """Collection on is allowed to cost more, but not explode: the
     instrumented run stays within 2x of the disabled run."""
-    base = _min_of(lambda: simulate("TSS", WL, _cluster()))
+    base = _min_of(lambda: SUBSTRATES["master"]())
 
     def instrumented():
-        simulate("TSS", WL, _cluster(), collector=BufferedCollector())
+        SUBSTRATES["master"](collector=BufferedCollector())
 
     assert _min_of(instrumented) < 2.0 * base + 0.05

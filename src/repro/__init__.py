@@ -58,7 +58,7 @@ schema whether the run is simulated or real::
     audit_events(trace.events, scheme="TSS").raise_if_failed()
 """
 
-from .batch import SimJob, run_batch
+from .batch import SimJob, run_batch, stream_batch
 from .cache import CostCache, configure as configure_cache, get_cache
 from .chaos import FaultPlan, run_chaos
 from .core import (
@@ -109,6 +109,7 @@ __all__ = [
     "paper_cluster",
     "SimJob",
     "run_batch",
+    "stream_batch",
     "CostCache",
     "get_cache",
     "configure_cache",

@@ -24,20 +24,43 @@ pickle (see ``MandelbrotWorkload.__getstate__``).
 
 ``n_jobs`` resolution: an explicit positive integer wins; ``0`` or
 ``None`` means "all cores" (``REPRO_JOBS`` overrides the core count).
+
+Million-run sweeps additionally need *streaming*: results must land on
+disk as they finish, memory must stay bounded, and a killed sweep must
+be resumable.  :func:`stream_batch` provides that -- a generator
+yielding ``(index, result)`` in submission order with a bounded
+in-flight window, optional incremental JSONL persistence (one
+``json`` line per finished job, flushed immediately, keyed by
+:meth:`SimJob.key`), and ``resume=True`` to skip any job whose key is
+already in the file.  ``KeyboardInterrupt`` and ``SIGTERM`` flush
+everything finished so far plus a ``<persist>.manifest.json`` resume
+manifest before propagating.  :func:`run_batch` is now a thin list
+collector over the same core.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
+import json
 import os
+import signal
+import threading
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from .simulation import ClusterSpec, SimResult, simulate, simulate_tree
 from .workloads import Workload
 
-__all__ = ["SimJob", "run_batch", "resolve_jobs", "batch_keys"]
+__all__ = [
+    "SimJob",
+    "run_batch",
+    "stream_batch",
+    "resolve_jobs",
+    "batch_keys",
+]
 
 #: Environment variable overriding the "all cores" job count.
 ENV_JOBS = "REPRO_JOBS"
@@ -167,10 +190,217 @@ def resolve_jobs(n_jobs: Optional[int]) -> int:
     return int(n_jobs)
 
 
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Translate SIGTERM into KeyboardInterrupt for the duration.
+
+    A sweep killed by its supervisor (``kill <pid>``) then flushes
+    exactly like a Ctrl-C one: finished results are already on disk,
+    and the manifest records the partial state.  Signal handlers are
+    main-thread-only; elsewhere this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.getsignal(signal.SIGTERM)
+
+    def _raise(signum, frame):  # pragma: no cover - exercised via kill
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError):  # pragma: no cover - exotic runtimes
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+class _Persister(object):
+    """Incremental JSONL sink keyed by :meth:`SimJob.key`.
+
+    One flushed ``json`` line per finished job, so a killed sweep
+    loses at most the in-flight jobs.  On resume, a torn final line
+    (the process died mid-write) is tolerated: it fails to parse, is
+    ignored, and a newline is patched in before appending so the next
+    record starts clean.
+    """
+
+    def __init__(self, path: Optional[str], resume: bool) -> None:
+        self.path = path
+        self.loaded: dict[str, dict] = {}
+        self._fh = None
+        if path is None:
+            return
+        if resume and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rec = json.loads(line)
+                    except ValueError:
+                        continue  # torn tail from a killed sweep
+                    self.loaded[rec["key"]] = rec
+            with open(path, "rb+") as fh:
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() > 0:
+                    fh.seek(-1, os.SEEK_END)
+                    if fh.read(1) != b"\n":
+                        fh.write(b"\n")
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def record(self, job: SimJob, index: int, result: SimResult) -> None:
+        if self._fh is None:
+            return
+        rec = {
+            "key": job.key,
+            "index": index,
+            "scheme": job.scheme,
+            "engine": job.engine,
+            "tag": job.tag,
+            "result": result.to_dict(),
+        }
+        self._fh.write(json.dumps(rec) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def _write_manifest(path: str, total: int, done: int,
+                    complete: bool) -> None:
+    with open(path + ".manifest.json", "w", encoding="utf-8") as fh:
+        json.dump(
+            {"total": total, "done": done, "complete": complete}, fh
+        )
+        fh.write("\n")
+
+
+def stream_batch(
+    jobs: Iterable[SimJob],
+    n_jobs: Optional[int] = 1,
+    *,
+    window: Optional[int] = None,
+    persist: Optional[str] = None,
+    resume: bool = False,
+    pool: Optional[ProcessPoolExecutor] = None,
+) -> Iterator[tuple[int, SimResult]]:
+    """Stream ``(index, result)`` pairs in submission order.
+
+    The streaming core behind :func:`run_batch`:
+
+    * **Bounded in-flight window** -- at most ``window`` jobs (default
+      ``2 x workers``) are submitted ahead of the consumer, so a
+      million-job sweep holds a handful of futures, not a million.
+    * **Incremental persistence** -- ``persist="sweep.jsonl"`` appends
+      one flushed JSON line per finished job (``SimResult.to_dict``
+      round-trips exactly; ``obs_events`` traces are not persisted).
+    * **Resume** -- ``resume=True`` loads the existing file and yields
+      persisted results (rebuilt via :meth:`SimResult.from_dict`) for
+      any job whose :meth:`SimJob.key` already appears, running only
+      the remainder.
+    * **Interrupt safety** -- ``KeyboardInterrupt`` or ``SIGTERM``
+      cancels outstanding work, flushes ``<persist>.manifest.json``
+      (``{"total", "done", "complete"}``) and propagates; a later
+      ``resume=True`` call picks up where the sweep died.
+
+    Job validation and workload cost resolution happen eagerly at call
+    time; the returned generator does the work lazily.
+    """
+    jobs = list(jobs)
+    for job in jobs:
+        if not isinstance(job, SimJob):
+            raise TypeError(
+                f"stream_batch expects SimJob items, got {job!r}"
+            )
+    # Resolve every distinct workload's cost vector in the parent so
+    # pool workers receive a precomputed profile instead of re-deriving
+    # the grid once per process.
+    for workload in {id(j.workload): j.workload for j in jobs}.values():
+        workload.costs()
+    return _stream(jobs, n_jobs, window, persist, resume, pool)
+
+
+def _stream(jobs, n_jobs, window, persist, resume, pool):
+    sink = _Persister(persist, resume)
+    total = len(jobs)
+    done = 0
+    complete = False
+    try:
+        with _sigterm_as_interrupt():
+            cached: dict[int, SimResult] = {}
+            if sink.loaded:
+                for idx, job in enumerate(jobs):
+                    rec = sink.loaded.get(job.key)
+                    if rec is not None:
+                        cached[idx] = SimResult.from_dict(rec["result"])
+            to_run = total - len(cached)
+            workers = resolve_jobs(n_jobs)
+            if pool is None and (workers == 1 or to_run <= 1):
+                for idx, job in enumerate(jobs):
+                    result = cached.pop(idx, None)
+                    if result is None:
+                        result = job.run()
+                        sink.record(job, idx, result)
+                    done += 1
+                    yield idx, result
+            else:
+                own = pool is None
+                ex = pool or ProcessPoolExecutor(
+                    max_workers=min(workers, to_run)
+                )
+                try:
+                    win = window or 2 * (
+                        getattr(ex, "_max_workers", None) or workers
+                    )
+                    win = max(1, win)
+                    inflight: deque = deque()
+                    next_idx = 0
+                    while next_idx < total or inflight:
+                        while next_idx < total and len(inflight) < win:
+                            if next_idx in cached:
+                                inflight.append((next_idx, None))
+                            else:
+                                inflight.append((
+                                    next_idx,
+                                    ex.submit(_execute, jobs[next_idx]),
+                                ))
+                            next_idx += 1
+                        idx, fut = inflight.popleft()
+                        if fut is None:
+                            result = cached.pop(idx)
+                        else:
+                            result = fut.result()
+                            sink.record(jobs[idx], idx, result)
+                        done += 1
+                        yield idx, result
+                finally:
+                    if own:
+                        ex.shutdown(cancel_futures=True)
+        complete = True
+    finally:
+        # Runs on normal exhaustion, KeyboardInterrupt/SIGTERM, and
+        # GeneratorExit (consumer broke out): everything finished is
+        # already flushed line-by-line; stamp the manifest last.
+        sink.close()
+        if persist is not None:
+            _write_manifest(persist, total, done, complete)
+
+
 def run_batch(
     jobs: Iterable[SimJob],
     n_jobs: Optional[int] = 1,
     pool: Optional[ProcessPoolExecutor] = None,
+    *,
+    window: Optional[int] = None,
+    persist: Optional[str] = None,
+    resume: bool = False,
 ) -> list[SimResult]:
     """Run every job; results come back in submission order.
 
@@ -180,25 +410,22 @@ def run_batch(
     simulations are deterministic, so both paths produce bit-identical
     results.  An existing ``pool`` may be passed to amortize worker
     start-up across batches (``n_jobs`` is then ignored).
+
+    ``persist``/``resume``/``window`` stream through
+    :func:`stream_batch`: incremental JSONL persistence, killed-sweep
+    resume, and a bounded in-flight submission window.
     """
-    jobs = list(jobs)
-    for job in jobs:
-        if not isinstance(job, SimJob):
-            raise TypeError(f"run_batch expects SimJob items, got {job!r}")
-    # Resolve every distinct workload's cost vector in the parent so
-    # pool workers receive a precomputed profile instead of re-deriving
-    # the grid once per process.
-    for workload in {id(j.workload): j.workload for j in jobs}.values():
-        workload.costs()
-    if pool is not None:
-        return [f.result() for f in
-                [pool.submit(_execute, job) for job in jobs]]
-    workers = resolve_jobs(n_jobs)
-    if workers == 1 or len(jobs) <= 1:
-        return [job.run() for job in jobs]
-    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as ex:
-        futures = [ex.submit(_execute, job) for job in jobs]
-        return [f.result() for f in futures]
+    return [
+        result
+        for _, result in stream_batch(
+            jobs,
+            n_jobs,
+            window=window,
+            persist=persist,
+            resume=resume,
+            pool=pool,
+        )
+    ]
 
 
 def batch_keys(jobs: Sequence[SimJob]) -> list[str]:

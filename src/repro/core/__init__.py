@@ -19,6 +19,15 @@ from .distributed import (
 from .factoring import FactoringScheduler, WeightedFactoringScheduler
 from .fixed_increase import FixedIncreaseScheduler, fiss_parameters
 from .guided import GuidedScheduler
+from .kernel import (
+    CALCULATORS,
+    ChunkCalculator,
+    ChunkLadder,
+    assign_ladder,
+    evaluate_ladder,
+    ladder_costs,
+    make_calculator,
+)
 from .registry import (
     DISTRIBUTED_SCHEMES,
     SCHEMES,
@@ -65,6 +74,13 @@ __all__ = [
     "TreePartition",
     "partner_order",
     "steal_split",
+    "ChunkCalculator",
+    "ChunkLadder",
+    "CALCULATORS",
+    "make_calculator",
+    "evaluate_ladder",
+    "ladder_costs",
+    "assign_ladder",
     "SCHEMES",
     "SIMPLE_SCHEMES",
     "DISTRIBUTED_SCHEMES",

@@ -1,59 +1,33 @@
-"""Pure chunk calculators: ``chunk(scheduled) -> size`` with no master.
+"""Pure chunk calculators -- re-exported from :mod:`repro.core.kernel`.
 
-The master--slave protocol computes chunk sizes *statefully*: the
-master owns a :class:`~repro.core.base.Scheduler` whose cursor advances
-on every request.  Eleliemy & Ciorba's *Distributed Chunk Calculation
-Approach* (arXiv:2101.07050) observes that for the self-scheduling
-schemes every quantity in the chunk formula is derivable from the
-*scheduled iteration count* alone -- so a worker that atomically
-fetches-and-increments a shared counter can compute its own interval
-with no master in the dispatch path.
-
-This module extracts that pure form from the stateful schedulers in
-:mod:`repro.core`:
-
-* ``calc.chunk(scheduled)`` is a pure function of the boundary
-  ``scheduled`` (iterations already assigned); it returns the size the
-  master *would* have granted at that cursor position, with the base
-  class's clipping rules (minimum 1, never beyond ``total``) applied.
-* ``calc.interval(i)`` maps a fetched chunk ordinal ``i`` to its
-  half-open iteration interval -- what a decentral worker executes
-  after ``i = counter.fetch_add(1)``.
-
-Equivalence to the master-based substrate is not aspirational: the
-staged calculators take their ladder *from* the corresponding
-scheduler class, and the property suite in
-``tests/decentral/test_calc_properties.py`` checks every calculator's
-boundary set against :func:`repro.verify.replay_cut_points`.
-
-Which schemes decentralize
---------------------------
-
-A scheme qualifies when its chunk sizes are independent of request
-*order* and of worker identity: SS, CSS, GSS, TSS directly (size is a
-function of the remaining count), and the staged schemes FSS, FISS,
-TFSS through the stage-span argument: under the per-worker stage
-ladder, chunk ordinal ``m`` is worker ``m % p``'s ``(m // p)``-th
-request, so its size is ``ladder[m // p]`` -- a pure function of the
-ordinal, hence of the boundary.  WF needs the requester's static
-weight, S/BC need the requester's identity, and the distributed D*
-family consults runtime ACP reports; none has a substrate-independent
-pure form, and :func:`make_calculator` refuses them with an
-explanation.
+The calculators originated here as the decentral substrate's pure
+``chunk(scheduled) -> size`` forms; once the master-engine fast path
+and :mod:`repro.verify` started consuming the same objects they were
+promoted to :mod:`repro.core.kernel`, the single source of truth.
+This module remains as a stable alias so decentral-facing imports
+(``from repro.decentral.calc import make_calculator``) keep working;
+new code should import from ``repro.core.kernel`` directly, which also
+exposes the vectorized ladder evaluation (:class:`ChunkLadder`,
+``evaluate_ladder``).
 """
 
 from __future__ import annotations
 
-import math
-from bisect import bisect_right
-from typing import Optional
-
-from ..core import registry
-from ..core.base import SchemeError
-from ..core.factoring import FactoringScheduler
-from ..core.fixed_increase import FixedIncreaseScheduler
-from ..core.tfss import TrapezoidFactoringScheduler
-from ..core.trapezoid import TrapezoidParams
+from ..core.kernel import (
+    CALCULATORS,
+    DECENTRAL_SCHEMES,
+    ChunkCalculator,
+    FactoringCalculator,
+    FixedChunkCalculator,
+    FixedIncreaseCalculator,
+    GuidedCalculator,
+    SerialCalculator,
+    TrapezoidCalculator,
+    TrapezoidFactoringCalculator,
+    _LadderCalculator,
+    chunk_size,
+    make_calculator,
+)
 
 __all__ = [
     "ChunkCalculator",
@@ -69,343 +43,3 @@ __all__ = [
     "make_calculator",
     "chunk_size",
 ]
-
-
-class ChunkCalculator(object):
-    """Pure, picklable chunk policy over ``total`` iterations.
-
-    Subclasses implement :meth:`_nominal`, the unclipped size at a
-    given boundary; everything else (clipping, ordinal/interval maps,
-    boundary sets) is derived here.  Instances carry only plain data,
-    so they pickle cheaply into decentral worker processes, and every
-    method is side-effect free -- two workers evaluating the same
-    ordinal always agree, which is what makes the shared counter the
-    *only* coordination point.
-    """
-
-    #: canonical scheme name (e.g. ``"TSS"``); set by subclasses.
-    scheme: str = "?"
-
-    def __init__(self, total: int, workers: int) -> None:
-        if total < 0:
-            raise SchemeError(f"total iterations must be >= 0, got {total}")
-        if workers < 1:
-            raise SchemeError(f"workers must be >= 1, got {workers}")
-        self.total = int(total)
-        self.workers = int(workers)
-        self._starts: Optional[tuple[int, ...]] = None
-
-    # -- the pure function -------------------------------------------------
-
-    def chunk(self, scheduled: int) -> int:
-        """Chunk size at boundary ``scheduled``; 0 once the loop is done.
-
-        Mirrors ``Scheduler.next_chunk``'s clipping exactly: the
-        nominal size is floored at 1 and capped at the remaining count,
-        so only the final chunk of a run is ever clipped.
-        """
-        if scheduled < 0:
-            raise SchemeError(f"scheduled must be >= 0, got {scheduled}")
-        if scheduled >= self.total:
-            return 0
-        size = int(self._nominal(scheduled))
-        if size < 1:
-            size = 1
-        return min(size, self.total - scheduled)
-
-    def _nominal(self, scheduled: int) -> int:
-        """Unclipped size at boundary ``scheduled`` (subclass hook)."""
-        raise NotImplementedError
-
-    # -- ordinal geometry (what a fetched counter value buys) --------------
-
-    def _table(self) -> tuple[int, ...]:
-        if self._starts is None:
-            starts: list[int] = []
-            cursor = 0
-            while cursor < self.total:
-                starts.append(cursor)
-                cursor += self.chunk(cursor)  # chunk() >= 1 here
-            self._starts = tuple(starts)
-        return self._starts
-
-    @property
-    def n_chunks(self) -> int:
-        """Number of chunks a full run produces."""
-        return len(self._table())
-
-    def prefix(self, index: int) -> int:
-        """Iterations assigned before chunk ordinal ``index``."""
-        starts = self._table()
-        if not 0 <= index <= len(starts):
-            raise SchemeError(
-                f"chunk index {index} out of range [0, {len(starts)}]"
-            )
-        return self.total if index == len(starts) else starts[index]
-
-    def interval(self, index: int) -> tuple[int, int]:
-        """Half-open iteration interval of chunk ordinal ``index``."""
-        start = self.prefix(index)
-        if start >= self.total:
-            raise SchemeError(
-                f"chunk index {index} beyond the loop (n_chunks="
-                f"{self.n_chunks})"
-            )
-        return start, start + self.chunk(start)
-
-    def sizes(self) -> list[int]:
-        """Every chunk size in ordinal order (sums to ``total``)."""
-        starts = self._table()
-        return [self.chunk(s) for s in starts]
-
-    def stage_of(self, index: int) -> int:
-        """Stage recorded on chunk ``index`` (staged schemes override)."""
-        return 0
-
-    def boundaries(self) -> frozenset[int]:
-        """All cut points, :func:`repro.verify.replay_cut_points` style."""
-        starts = self._table()
-        if not starts:
-            return frozenset()
-        return frozenset(starts) | {self.total}
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"<{type(self).__name__} {self.scheme} total={self.total} "
-            f"workers={self.workers}>"
-        )
-
-
-class SerialCalculator(ChunkCalculator):
-    """SS: one iteration per fetch (pure self-scheduling)."""
-
-    scheme = "SS"
-
-    def _nominal(self, scheduled: int) -> int:
-        return 1
-
-
-class FixedChunkCalculator(ChunkCalculator):
-    """CSS(k): constant chunks of ``k`` iterations."""
-
-    scheme = "CSS"
-
-    def __init__(self, total: int, workers: int, k: int = 1) -> None:
-        super().__init__(total, workers)
-        if k < 1:
-            raise SchemeError(f"chunk size k must be >= 1, got {k}")
-        self.k = int(k)
-
-    def _nominal(self, scheduled: int) -> int:
-        return self.k
-
-
-class GuidedCalculator(ChunkCalculator):
-    """GSS: ``max(min_chunk, ceil(R / p))`` -- pure in the remaining count."""
-
-    scheme = "GSS"
-
-    def __init__(
-        self, total: int, workers: int, min_chunk: int = 1
-    ) -> None:
-        super().__init__(total, workers)
-        if min_chunk < 1:
-            raise SchemeError(f"min_chunk must be >= 1, got {min_chunk}")
-        self.min_chunk = int(min_chunk)
-
-    def _nominal(self, scheduled: int) -> int:
-        remaining = self.total - scheduled
-        return max(self.min_chunk, math.ceil(remaining / self.workers))
-
-
-class TrapezoidCalculator(ChunkCalculator):
-    """TSS in closed form: invert the arithmetic-series prefix.
-
-    The master's size sequence is ``s_j = max(L, F - jD)`` (0-based
-    ``j``), so the iterations before ordinal ``j`` are
-
-        ``P(j) = jF - D j(j-1)/2``          for ``j <= m``,
-        ``P(m) + (j - m) L``                 beyond,
-
-    with ``m = (F-L)//D + 1`` the number of above-floor steps.  A
-    worker holding boundary ``s`` recovers its ordinal by inverting the
-    strictly increasing ``P`` (binary search over at most ``m`` steps)
-    -- no shared state beyond the counter.
-    """
-
-    scheme = "TSS"
-
-    def __init__(
-        self,
-        total: int,
-        workers: int,
-        first: Optional[int] = None,
-        last: int = 1,
-    ) -> None:
-        super().__init__(total, workers)
-        self.params = TrapezoidParams.derive(
-            total, workers, first=first, last=last
-        )
-        self._first = int(self.params.first)
-        self._last = int(self.params.last)
-        # Integral by construction for TSS (integer_decrement=True).
-        self._dec = int(self.params.decrement)
-
-    def _nominal(self, scheduled: int) -> int:
-        first, last, dec = self._first, self._last, self._dec
-        if dec == 0:
-            return first
-        above = (first - last) // dec + 1  # steps before the L floor
-        def prefix(j: int) -> int:
-            return j * first - dec * j * (j - 1) // 2
-        if scheduled >= prefix(above):
-            return last
-        lo, hi = 0, above - 1
-        while lo < hi:
-            mid = (lo + hi + 1) // 2
-            if prefix(mid) <= scheduled:
-                lo = mid
-            else:
-                hi = mid - 1
-        return first - lo * dec
-
-
-class _LadderCalculator(ChunkCalculator):
-    """Base for staged schemes: stage spans over the boundary axis.
-
-    A per-worker stage ladder serves chunk ordinal ``m`` (= worker
-    ``m % p``'s request number ``m // p``) with size ``ladder[m // p]``,
-    so stage ``k`` occupies the boundary span
-    ``[p * sum(ladder[:k]), p * sum(ladder[:k+1]))`` and the size at a
-    boundary is a span lookup.  Past the plan the master's shrinking
-    tail rule applies: ``max(1, ceil(R / 2p))`` (rounding or clipping
-    can leave iterations over; see ``StageLadderScheduler``).
-    """
-
-    def __init__(self, total: int, workers: int, ladder: list[int]) -> None:
-        super().__init__(total, workers)
-        self._ladder = tuple(max(1, int(c)) for c in ladder) or (1,)
-        spans: list[int] = []
-        acc = 0
-        for c in self._ladder:
-            acc += c * self.workers
-            spans.append(acc)
-        self._spans = tuple(spans)
-
-    @property
-    def ladder(self) -> tuple[int, ...]:
-        """The lockstep per-PE stage sizes (one entry per stage)."""
-        return self._ladder
-
-    def _nominal(self, scheduled: int) -> int:
-        if scheduled < self._spans[-1]:
-            return self._ladder[bisect_right(self._spans, scheduled)]
-        remaining = self.total - scheduled
-        return max(1, math.ceil(remaining / (2 * self.workers)))
-
-    def stage_of(self, index: int) -> int:
-        if not 0 <= index < self.n_chunks:
-            raise SchemeError(f"chunk index {index} out of range")
-        return index // self.workers + 1
-
-
-class FactoringCalculator(_LadderCalculator):
-    """FSS(alpha): stage plan taken verbatim from the FSS scheduler."""
-
-    scheme = "FSS"
-
-    def __init__(
-        self,
-        total: int,
-        workers: int,
-        alpha: float = 2.0,
-        rounding: str = "half-even",
-    ) -> None:
-        ref = FactoringScheduler(
-            total, workers, alpha=alpha, rounding=rounding
-        )
-        self.alpha = ref.alpha
-        self.rounding = ref.rounding
-        super().__init__(total, workers, ref._ladder)
-
-
-class FixedIncreaseCalculator(_LadderCalculator):
-    """FISS(sigma, X): increasing stage plan from the FISS scheduler."""
-
-    scheme = "FISS"
-
-    def __init__(
-        self,
-        total: int,
-        workers: int,
-        stages: int = 3,
-        x: Optional[float] = None,
-    ) -> None:
-        ref = FixedIncreaseScheduler(total, workers, stages=stages, x=x)
-        self.stages = ref.stages
-        self.x = ref.x
-        super().__init__(total, workers, ref._ladder)
-
-
-class TrapezoidFactoringCalculator(_LadderCalculator):
-    """TFSS: TSS-derived stage plan from the TFSS scheduler."""
-
-    scheme = "TFSS"
-
-    def __init__(
-        self,
-        total: int,
-        workers: int,
-        first: Optional[int] = None,
-        last: int = 1,
-    ) -> None:
-        ref = TrapezoidFactoringScheduler(
-            total, workers, first=first, last=last
-        )
-        super().__init__(total, workers, ref._ladder)
-
-
-#: scheme name -> calculator class: the decentralizable subset.
-CALCULATORS: dict[str, type[ChunkCalculator]] = {
-    "SS": SerialCalculator,
-    "CSS": FixedChunkCalculator,
-    "GSS": GuidedCalculator,
-    "TSS": TrapezoidCalculator,
-    "FSS": FactoringCalculator,
-    "FISS": FixedIncreaseCalculator,
-    "TFSS": TrapezoidFactoringCalculator,
-}
-
-#: Schemes with a pure decentral form (see the module docstring for
-#: why the others are excluded).
-DECENTRAL_SCHEMES: tuple[str, ...] = tuple(CALCULATORS)
-
-
-def make_calculator(
-    name: str, total: int, workers: int, **kwargs
-) -> ChunkCalculator:
-    """Build the pure calculator for scheme ``name``.
-
-    Accepts the same spellings as :func:`repro.core.make` (case
-    folding, ``"CSS(32)"`` inline parameters).  Schemes without a pure
-    form -- worker-identity-dependent (S, BC, WF) or ACP-driven (DTSS,
-    DFSS, DFISS, DTFSS) -- raise :class:`SchemeError`.
-    """
-    key, inline = registry.parse(name)
-    for kw, value in inline.items():
-        kwargs.setdefault(kw, value)
-    if key not in CALCULATORS:
-        raise SchemeError(
-            f"scheme {key!r} has no decentral form (chunk sizes depend "
-            f"on worker identity or runtime ACP, so they cannot be a "
-            f"pure function of the scheduled count); decentralizable: "
-            f"{', '.join(DECENTRAL_SCHEMES)}"
-        )
-    return CALCULATORS[key](total, workers, **kwargs)
-
-
-def chunk_size(
-    scheme: str, scheduled: int, total: int, workers: int, **kwargs
-) -> int:
-    """One-shot pure form: ``chunk(scheduled, total, p)`` for ``scheme``."""
-    return make_calculator(scheme, total, workers, **kwargs).chunk(scheduled)

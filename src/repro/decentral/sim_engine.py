@@ -58,6 +58,7 @@ from ..core.base import SchemeError
 from ..obs import ObsEvent
 from ..obs import resolve as _resolve_collector
 from ..workloads import Workload
+from ..simulation import fastpath
 from ..simulation.cluster import ClusterSpec, NodeSpec
 from ..simulation.engine import _overlay_load_spikes
 from ..simulation.events import EventQueue, SimulationError
@@ -106,8 +107,16 @@ class DecentralSimulation(object):
         collect_results: bool = False,
         chaos=None,
         collector=None,
+        fast: object = "auto",
     ) -> None:
         self.obs = _resolve_collector(collector)
+        # Cached truthiness: the hot loops test this plain bool
+        # (~5x cheaper than NullCollector.__bool__ per gate);
+        # the collector never changes after construction.
+        self.observing = bool(self.obs)
+        #: fast-path policy: ``"auto"`` (take it when eligible),
+        #: ``True`` (require it) or ``False`` (always run the DES).
+        self.fast = fast
         if calc.workers != cluster.size:
             raise SimulationError(
                 f"calculator built for {calc.workers} workers but "
@@ -218,7 +227,7 @@ class DecentralSimulation(object):
         end = start + self.atomic_op_cost
         self._counter_free = end
         self._global_ops += 1
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "fetch-add", _SRC, at, state.index,
                 value=start - at, detail="global",
@@ -250,7 +259,7 @@ class DecentralSimulation(object):
         state.metrics.t_wait += local_start - arrival
         local_end = local_start + self.local_op_cost
         self._group_free[g] = local_end
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "fetch-add", _SRC, arrival, state.index,
                 value=local_start - arrival, detail="local",
@@ -286,7 +295,7 @@ class DecentralSimulation(object):
         if fault is not None:
             _at, kind, extra = fault
             state.metrics.t_wait += extra
-            if self.obs:
+            if self.observing:
                 self.obs.emit(ObsEvent(
                     "fault", _SRC, t, state.index, value=extra,
                     detail=kind,
@@ -297,7 +306,7 @@ class DecentralSimulation(object):
                 kind=f"chaos-{kind}",
             )
             return
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent("request", _SRC, t, state.index))
         node = state.node
         tx = node.transfer_time(self.cluster.request_bytes)
@@ -309,7 +318,7 @@ class DecentralSimulation(object):
             # A failing peer holds an incomplete ordinal that may yet
             # land on the scavenging list: retry the fetch when a
             # death resolves the question (see _drain_parked).
-            if self.obs:
+            if self.observing:
                 self.obs.emit(ObsEvent(
                     "park", _SRC, access_end, state.index,
                 ))
@@ -327,7 +336,7 @@ class DecentralSimulation(object):
                 kind="terminate",
             )
             return
-        if self.obs:
+        if self.observing:
             a_start, a_stop = self.calc.interval(index)
             self.obs.emit(ObsEvent(
                 "assign", _SRC, access_end, state.index,
@@ -347,7 +356,7 @@ class DecentralSimulation(object):
         cost = self.workload.chunk_cost(start, stop)
         finish = integrate_compute(t, cost, state.node.speed,
                                    state.node.load)
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "compute", _SRC, t, state.index, start=start, stop=stop,
                 stage=self.calc.stage_of(index), value=finish - t,
@@ -379,7 +388,7 @@ class DecentralSimulation(object):
     def _finish_chunk(self, state: _DWorkerState) -> None:
         # The chunk is durable from here on (shard write in the real
         # runtime): a later death cannot lose it.
-        if self.obs and state.pending_record is not None:
+        if self.observing and state.pending_record is not None:
             record = state.pending_record
             self.obs.emit(ObsEvent(
                 "result", _SRC, self.queue.now, state.index,
@@ -392,7 +401,7 @@ class DecentralSimulation(object):
     def _worker_terminate(self, state: _DWorkerState) -> None:
         state.done = True
         state.metrics.finished_at = self.queue.now
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "terminate", _SRC, self.queue.now, state.index,
             ))
@@ -425,7 +434,7 @@ class DecentralSimulation(object):
         state.done = True
         state.epoch += 1
         state.metrics.finished_at = t
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "fault", _SRC, t, state.index, detail="death",
             ))
@@ -471,7 +480,7 @@ class DecentralSimulation(object):
         state.done = False
         state.pending_index = None
         state.pending_record = None
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "restart", _SRC, self.queue.now, state.index,
             ))
@@ -479,7 +488,7 @@ class DecentralSimulation(object):
 
     def _counter_stall(self, duration: float) -> None:
         """The global counter is held for ``duration`` from now."""
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "fault", _SRC, self.queue.now, value=float(duration),
                 detail="stall",
@@ -546,6 +555,17 @@ class DecentralSimulation(object):
     # -- run ---------------------------------------------------------------
 
     def run(self) -> SimResult:
+        # Analytic fast path: fault-free deterministic runs skip the
+        # DES entirely (bit-identical; see repro.simulation.fastpath).
+        if self.fast is not False:
+            reason = fastpath.decentral_fast_reason(self)
+            if reason is None and fastpath.fast_enabled():
+                return fastpath.run_fast_decentral(self)
+            if self.fast is True:
+                raise SimulationError(
+                    f"fast=True but the run is not fast-path eligible: "
+                    f"{reason or 'disabled via ' + fastpath.ENV_FAST}"
+                )
         self._schedule_faults()
         for state in self.workers:
             self._claim(state)
@@ -597,6 +617,7 @@ def simulate_decentral(
     collect_results: bool = False,
     chaos=None,
     collector=None,
+    fast: object = "auto",
     **scheme_kwargs,
 ) -> SimResult:
     """Simulate ``scheme`` on ``cluster`` with no master in the path.
@@ -626,5 +647,6 @@ def simulate_decentral(
         collect_results=collect_results,
         chaos=chaos,
         collector=collector,
+        fast=fast,
     )
     return sim.run()

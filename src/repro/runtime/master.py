@@ -135,6 +135,11 @@ def master_loop(
     t0 = time.monotonic()
 
     def emit(kind: str, worker: int = -1, **fields) -> None:
+        # Early-return on a falsy (Null) collector: call sites guard
+        # too, but the helper must never pay for ObsEvent construction
+        # or clock reads on the disabled path.
+        if not obs:
+            return
         obs.emit(ObsEvent(
             kind, _SRC, time.monotonic() - t0, worker,
             wall=time.time(), **fields,

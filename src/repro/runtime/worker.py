@@ -124,6 +124,11 @@ def worker_main(
 
     def obs_emit(kind: str, at: Optional[float] = None,
                  **fields) -> None:
+        # Disabled-path guard: skip event construction and clock reads
+        # entirely when no collector is attached (the per-chunk hot
+        # loop calls this).
+        if not obs:
+            return
         t = (time.perf_counter() if at is None else at) - born
         obs.emit(ObsEvent(
             kind, _SRC, t, worker_id, wall=time.time(), **fields,

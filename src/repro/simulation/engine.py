@@ -46,6 +46,7 @@ from ..core.acp import IMPROVED_ACP, AcpModel
 from ..obs import ObsEvent
 from ..obs import resolve as _resolve_collector
 from ..workloads import Workload
+from . import fastpath
 from .cluster import ClusterSpec, NodeSpec
 from .events import EventQueue, SimulationError
 from .loadgen import OverlayLoad, integrate_compute
@@ -147,10 +148,23 @@ class MasterSlaveSimulation(object):
         collect_results: bool = False,
         chaos=None,
         collector=None,
+        fast: object = "auto",
     ) -> None:
         #: unified event stream sink; falsy NullCollector when disabled,
         #: so emission sites cost one truth test on the hot path.
         self.obs = _resolve_collector(collector)
+        # Cached truthiness: the hot loops test this plain bool
+        # (~5x cheaper than NullCollector.__bool__ per gate);
+        # the collector never changes after construction.
+        self.observing = bool(self.obs)
+        #: fast-path policy: ``"auto"`` (take it when eligible, the
+        #: default), ``True`` (require it; raise when ineligible) or
+        #: ``False`` (always run the generic DES).
+        self.fast = fast
+        #: set by :func:`simulate` when the scheduler was built here
+        #: from a registry name -- the object never escapes, so the
+        #: fast path may use pure steppers instead of mutating it.
+        self._fresh_scheduler = False
         if scheduler.workers != cluster.size:
             raise SimulationError(
                 f"scheduler built for {scheduler.workers} workers but "
@@ -278,7 +292,7 @@ class MasterSlaveSimulation(object):
             # same pause, accounted as wait time.
             _at, kind, extra = fault
             state.metrics.t_wait += extra
-            if self.obs:
+            if self.observing:
                 self.obs.emit(ObsEvent(
                     "fault", _SRC, t, state.index, value=extra,
                     detail=kind,
@@ -303,7 +317,7 @@ class MasterSlaveSimulation(object):
             if self.scheduler.distributed
             else None
         )
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "request", _SRC, t, state.index, acp=acp,
             ))
@@ -338,7 +352,7 @@ class MasterSlaveSimulation(object):
             self._last_result_arrival = max(
                 self._last_result_arrival, arrival
             )
-            if self.obs and state.unacked is not None:
+            if self.observing and state.unacked is not None:
                 self.obs.emit(ObsEvent(
                     "result", _SRC, arrival, state.index,
                     start=state.unacked[0], stop=state.unacked[1],
@@ -368,7 +382,7 @@ class MasterSlaveSimulation(object):
             if self._work_may_reappear():
                 # A failing peer still holds undelivered results: park
                 # this worker; its reply comes when (if) work reappears.
-                if self.obs:
+                if self.observing:
                     self.obs.emit(ObsEvent(
                         "park", _SRC, service_end, state.index,
                     ))
@@ -390,7 +404,7 @@ class MasterSlaveSimulation(object):
         )
         state.metrics.t_wait += reply_start - service_end
         state.metrics.t_com += reply_tx
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "assign", _SRC, service_end, state.index,
                 start=assignment[0], stop=assignment[1],
@@ -414,7 +428,7 @@ class MasterSlaveSimulation(object):
         cost = self.workload.chunk_cost(start, stop)
         finish = integrate_compute(t, cost, state.node.speed,
                                    state.node.load)
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "compute", _SRC, t, state.index,
                 start=start, stop=stop, stage=stage, acp=acp,
@@ -448,7 +462,7 @@ class MasterSlaveSimulation(object):
     def _worker_terminate(self, state: _WorkerState) -> None:
         state.done = True
         state.metrics.finished_at = self.queue.now
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "terminate", _SRC, self.queue.now, state.index,
             ))
@@ -481,7 +495,7 @@ class MasterSlaveSimulation(object):
         state.done = True
         state.epoch += 1
         state.metrics.finished_at = t
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "fault", _SRC, t, state.index, detail="death",
             ))
@@ -542,12 +556,12 @@ class MasterSlaveSimulation(object):
         state.pending_chunk = None
         state.unacked = None
         state.pending_piggyback = 0.0
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent("restart", _SRC, t, state.index))
         if self.scheduler.distributed:
             acp = self._acp_now(state, t)
             self.scheduler.observe_acp(state.index, acp)
-            if self.obs:
+            if self.observing:
                 self.obs.emit(ObsEvent(
                     "acp-update", _SRC, t, state.index, acp=acp,
                 ))
@@ -555,7 +569,7 @@ class MasterSlaveSimulation(object):
 
     def _master_stall(self, duration: float) -> None:
         """The master serves nothing for ``duration`` from now."""
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "fault", _SRC, self.queue.now, value=float(duration),
                 detail="stall",
@@ -573,7 +587,7 @@ class MasterSlaveSimulation(object):
             start, stop = self._requeue.popleft()
             reply_tx = state.node.transfer_time(self.cluster.reply_bytes)
             state.metrics.t_com += reply_tx
-            if self.obs:
+            if self.observing:
                 self.obs.emit(ObsEvent(
                     "assign", _SRC, self.queue.now, state.index,
                     start=start, stop=stop, stage=0,
@@ -653,6 +667,17 @@ class MasterSlaveSimulation(object):
     # -- run -----------------------------------------------------------------------
 
     def run(self) -> SimResult:
+        # Analytic fast path: fault-free deterministic runs skip the
+        # DES entirely (bit-identical; see repro.simulation.fastpath).
+        if self.fast is not False:
+            reason = fastpath.master_fast_reason(self)
+            if reason is None and fastpath.fast_enabled():
+                return fastpath.run_fast_master(self)
+            if self.fast is True:
+                raise SimulationError(
+                    f"fast=True but the run is not fast-path eligible: "
+                    f"{reason or 'disabled via ' + fastpath.ENV_FAST}"
+                )
         # Step 1(a): availability screen + initial ACP registration.
         if self.scheduler.distributed:
             self._participants = [
@@ -667,7 +692,7 @@ class MasterSlaveSimulation(object):
             for s in self._participants:
                 acp = self._acp_now(s, 0.0)
                 self.scheduler.observe_acp(s.index, acp)
-                if self.obs:
+                if self.observing:
                     self.obs.emit(ObsEvent(
                         "acp-update", _SRC, 0.0, s.index, acp=acp,
                     ))
@@ -719,6 +744,7 @@ def simulate(
     collect_results: bool = False,
     chaos=None,
     collector=None,
+    fast: object = "auto",
     **scheme_kwargs,
 ) -> SimResult:
     """Simulate one run of ``scheme`` over ``workload`` on ``cluster``.
@@ -731,6 +757,12 @@ def simulate(
     message delay/loss, master stalls, and load spikes are injected in
     virtual time, and the run must still cover every iteration exactly
     once (see ``docs/fault_model.md`` and :mod:`repro.verify`).
+
+    ``fast`` selects the analytic fast path
+    (:mod:`repro.simulation.fastpath`): ``"auto"`` (default) takes it
+    when the run is fault-free and unobserved -- bit-identical to the
+    DES; ``False`` forces the DES; ``True`` requires the fast path and
+    raises :class:`SimulationError` when the run is ineligible.
     """
     if isinstance(scheme, str):
         scheduler = make_for_cluster(
@@ -748,5 +780,9 @@ def simulate(
         collect_results=collect_results,
         chaos=chaos,
         collector=collector,
+        fast=fast,
     )
+    # The scheduler object never escapes simulate(), so the fast path
+    # may replace it with a pure stepper instead of mutating it.
+    sim._fresh_scheduler = isinstance(scheme, str)
     return sim.run()

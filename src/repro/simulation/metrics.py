@@ -24,7 +24,10 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["WorkerMetrics", "SimResult", "imbalance"]
+__all__ = [
+    "WorkerMetrics", "ChunkRecord", "LazyChunkList", "SimResult",
+    "imbalance",
+]
 
 
 @dataclasses.dataclass
@@ -49,9 +52,14 @@ class WorkerMetrics(object):
         return f"{self.t_com:.1f}/{self.t_wait:.1f}/{self.t_comp:.1f}"
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ChunkRecord(object):
-    """One scheduling decision, for traces and post-hoc analysis."""
+    """One scheduling decision, for traces and post-hoc analysis.
+
+    ``slots=True``: simulations produce one record per chunk on the
+    hot path, and slots construction is measurably cheaper at the
+    million-run sweep scale (no per-record ``__dict__``).
+    """
 
     worker: int
     start: int
@@ -66,6 +74,61 @@ class ChunkRecord(object):
     @property
     def size(self) -> int:
         return self.stop - self.start
+
+
+class LazyChunkList(object):
+    """Sequence of :class:`ChunkRecord` materialized on first access.
+
+    The analytic fast path produces one record per chunk, and once its
+    event loop is lean, record construction dominates the per-chunk
+    cost.  At million-run sweep scale most results only read ``t_p``
+    and the worker metrics, never the per-chunk trace -- so the fast
+    path stores the raw field rows and this wrapper builds the real
+    :class:`ChunkRecord` objects only when someone actually touches
+    them.  Materialization is exact (rows hold the final field values,
+    in final order) and happens at most once.
+    """
+
+    __slots__ = ("_rows", "_records")
+
+    def __init__(self, rows: list[tuple]):
+        self._rows = rows
+        self._records: Optional[list[ChunkRecord]] = None
+
+    def _materialize(self) -> list[ChunkRecord]:
+        records = self._records
+        if records is None:
+            records = self._records = [
+                ChunkRecord(*row) for row in self._rows
+            ]
+            self._rows = None
+        return records
+
+    def __len__(self) -> int:
+        rows = self._rows
+        return len(rows) if rows is not None else len(self._records)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LazyChunkList):
+            other = other._materialize()
+        return self._materialize() == other
+
+    def __repr__(self) -> str:
+        return repr(self._materialize())
+
+    def __reduce__(self):
+        # Pickles (e.g. crossing a process pool) as a plain list of
+        # records -- consumers only rely on the sequence protocol.
+        return (list, (self._materialize(),))
 
 
 @dataclasses.dataclass
@@ -107,6 +170,44 @@ class SimResult(object):
             lines.append(f"  PE{i} ({w.name}): {w.row()}  "
                          f"[{w.chunks} chunks, {w.iterations} iters]")
         return "\n".join(lines)
+
+    def to_dict(self, include_results: bool = False) -> dict:
+        """JSON-safe dict; exact round trip via :meth:`from_dict`.
+
+        Floats survive JSON exactly (``repr`` round-trips doubles in
+        Python 3), so a persisted result is bit-identical after
+        reload.  ``obs_events`` is intentionally excluded -- traces
+        are bulky and have their own sinks (:mod:`repro.obs`);
+        ``results`` arrays ride along only on request.
+        """
+        d = {
+            "scheme": self.scheme,
+            "t_p": self.t_p,
+            "rederivations": self.rederivations,
+            "events": self.events,
+            "workers": [dataclasses.asdict(w) for w in self.workers],
+            "chunks": [dataclasses.asdict(c) for c in self.chunks],
+        }
+        if include_results and self.results is not None:
+            d["results"] = self.results.tolist()
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SimResult":
+        """Rebuild a result persisted with :meth:`to_dict`."""
+        results = d.get("results")
+        return cls(
+            scheme=d["scheme"],
+            workers=[WorkerMetrics(**w) for w in d["workers"]],
+            t_p=d["t_p"],
+            chunks=[ChunkRecord(**c) for c in d["chunks"]],
+            results=(
+                None if results is None
+                else np.asarray(results, dtype=float)
+            ),
+            rederivations=d.get("rederivations", 0),
+            events=d.get("events", 0),
+        )
 
 
 def imbalance(values: list[float]) -> float:

@@ -137,6 +137,10 @@ class TreeSimulation(object):
         collector=None,
     ) -> None:
         self.obs = _resolve_collector(collector)
+        # Cached truthiness: the hot loops test this plain bool
+        # (~5x cheaper than NullCollector.__bool__ per gate);
+        # the collector never changes after construction.
+        self.observing = bool(self.obs)
         if flush_interval <= 0:
             raise SimulationError("flush_interval must be > 0")
         if grain < 1:
@@ -247,7 +251,7 @@ class TreeSimulation(object):
 
     def _master_stall(self, duration: float) -> None:
         """The master's NIC accepts nothing for ``duration`` from now."""
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "fault", _SRC, self.queue.now, value=float(duration),
                 detail="stall",
@@ -268,7 +272,7 @@ class TreeSimulation(object):
         w.dead = True
         w.epoch += 1
         w.metrics.finished_at = t
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "fault", _SRC, t, w.index, detail="death",
             ))
@@ -325,7 +329,7 @@ class TreeSimulation(object):
         w.pending_items = 0
         w.unflushed.clear()
         w.inflight.clear()
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent("restart", _SRC, t, w.index))
         # Rejoin handshake, then resume whatever is left of the queue
         # (or sweep partners if it was emptied while dead).
@@ -373,7 +377,7 @@ class TreeSimulation(object):
         start, stop = block
         cost = self.workload.chunk_cost(start, stop)
         finish = integrate_compute(t, cost, w.node.speed, w.node.load)
-        if self.obs:
+        if self.observing:
             self.obs.emit(ObsEvent(
                 "compute", _SRC, t, w.index, start=start, stop=stop,
                 value=finish - t,
@@ -406,7 +410,7 @@ class TreeSimulation(object):
             # Chaos delay/loss: the flush leaves (or retransmits) late.
             _at, kind, extra = fault
             w.metrics.t_wait += extra
-            if self.obs:
+            if self.observing:
                 self.obs.emit(ObsEvent(
                     "fault", _SRC, t, w.index, value=extra, detail=kind,
                 ))
@@ -444,7 +448,7 @@ class TreeSimulation(object):
                 # Fail-stop: the flush died on the wire with its sender
                 # (the death handler rolled the blocks back).
                 return
-            if self.obs:
+            if self.observing:
                 for blk_start, blk_stop in s.inflight:
                     self.obs.emit(ObsEvent(
                         "result", _SRC, self.queue.now, s.index,
@@ -458,7 +462,7 @@ class TreeSimulation(object):
             if final:
                 s.done = True
                 s.metrics.finished_at = self.queue.now
-                if self.obs:
+                if self.observing:
                     self.obs.emit(ObsEvent(
                         "terminate", _SRC, self.queue.now, s.index,
                     ))
@@ -515,7 +519,7 @@ class TreeSimulation(object):
                 self._try_steal(thief)
             else:
                 self._steals += 1
-                if self.obs:
+                if self.observing:
                     self.obs.emit(ObsEvent(
                         "steal", _SRC, self.queue.now, thief.index,
                         start=stolen[0], stop=stolen[1],

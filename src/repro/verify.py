@@ -43,6 +43,8 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from .core import Scheduler, WorkerView, make
+from .core import registry as _registry
+from .core.kernel import CALCULATORS, evaluate_ladder, make_calculator
 from .obs.events import ObsEvent, SchemaError, validate_event
 
 __all__ = [
@@ -170,7 +172,21 @@ def replay_cut_points(
     of cut points ``{start_0, stop_0, start_1, ...}``.  Returns None
     for distributed schemes (their sizes depend on runtime ACP reports,
     so there is no substrate-independent reference sequence).
+
+    Registry names with a pure :data:`repro.core.kernel.CALCULATORS`
+    form short-circuit through one vectorized
+    :func:`~repro.core.kernel.evaluate_ladder` call instead of the
+    step-by-step replay -- the same boundary set (the kernel is proven
+    against this replay by ``tests/core/test_kernel.py``), without the
+    per-request scheduler walk.  Custom ``order`` still replays: the
+    kernel has no notion of request interleaving.
     """
+    if isinstance(scheme, str) and order is None:
+        key, _inline = _registry.parse(scheme)
+        if key in CALCULATORS:
+            return evaluate_ladder(
+                make_calculator(scheme, total, workers, **scheme_kwargs)
+            ).cut_points()
     sched = (
         make(scheme, total, workers, **scheme_kwargs)
         if isinstance(scheme, str)

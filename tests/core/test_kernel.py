@@ -1,0 +1,135 @@
+"""Kernel/ladder equivalence proof (hypothesis).
+
+``repro.core.kernel.evaluate_ladder`` is the single vectorized source
+of truth for every pure chunk ladder: the analytic fast path, the
+decentral counter engine, and ``repro.verify.replay_cut_points`` all
+consume it.  These tests pin the kernel against the slowest, most
+literal reference we have -- a step-by-step scheduler replay -- for
+every registered pure scheme over random ``(N, P)``, including the
+degenerate shapes (``P=1``, ``N<P``, ``N=0``, inline parameters).
+
+The replay reference deliberately passes a *Scheduler instance* to
+``replay_cut_points``: string schemes short-circuit through the very
+kernel under test (see ``repro.verify``), which would make the
+comparison circular.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import drain, make
+from repro.core.kernel import (
+    CALCULATORS,
+    SchemeError,
+    evaluate_ladder,
+    make_calculator,
+)
+from repro.verify import replay_cut_points
+
+#: Spellings that exercise the inline-parameter parser as well as the
+#: bare registry names.
+PURE_SCHEMES = sorted(CALCULATORS) + ["CSS(7)", "CSS(32)", "GSS(4)"]
+
+sizes_and_workers = st.tuples(
+    st.integers(min_value=0, max_value=3000),
+    st.integers(min_value=1, max_value=16),
+)
+
+
+@st.composite
+def kernel_case(draw):
+    name = draw(st.sampled_from(PURE_SCHEMES))
+    total, workers = draw(sizes_and_workers)
+    return name, total, workers
+
+
+@given(kernel_case())
+@settings(max_examples=250, deadline=None)
+def test_ladder_matches_step_by_step_replay(case):
+    """Vectorized ladder boundaries == literal scheduler replay."""
+    name, total, workers = case
+    ladder = evaluate_ladder(name, total, workers)
+    # Scheduler instance => replay_cut_points takes the slow
+    # step-by-step path (the str spelling would route back through the
+    # kernel and prove nothing).
+    reference = replay_cut_points(make(name, total, workers),
+                                  total, workers)
+    assert ladder.cut_points() == reference
+
+
+@given(kernel_case())
+@settings(max_examples=250, deadline=None)
+def test_ladder_sizes_match_drained_scheduler(case):
+    """Chunk-by-chunk sizes (not just boundaries) match a drain."""
+    name, total, workers = case
+    ladder = evaluate_ladder(name, total, workers)
+    chunks = list(drain(make(name, total, workers)))
+    assert [int(s) for s in ladder.sizes] == [c.size for c in chunks]
+    assert [int(s) for s in ladder.starts] == [c.start for c in chunks]
+    assert [int(s) for s in ladder.stops] == [c.stop for c in chunks]
+
+
+@given(kernel_case())
+@settings(max_examples=250, deadline=None)
+def test_ladder_tiles_the_loop(case):
+    """Invariants: sizes >= 1, intervals tile [0, N) in order."""
+    name, total, workers = case
+    ladder = evaluate_ladder(name, total, workers)
+    assert int(ladder.sizes.sum()) == total
+    if ladder.n_chunks:
+        assert int(ladder.sizes.min()) >= 1
+        assert int(ladder.starts[0]) == 0
+        assert int(ladder.stops[-1]) == total
+        assert np.array_equal(ladder.starts[1:], ladder.stops[:-1])
+
+
+@pytest.mark.parametrize("name", sorted(CALCULATORS))
+@pytest.mark.parametrize(
+    "total,workers",
+    [
+        (0, 3),     # empty loop
+        (1, 1),     # single iteration, single worker
+        (5, 1),     # P=1 collapses every scheme to few fat chunks
+        (3, 8),     # N < P: some workers never get a chunk
+        (17, 17),   # N == P
+        (1000, 7),  # long ladder with an uneven tail
+    ],
+)
+def test_degenerate_shapes(name, total, workers):
+    ladder = evaluate_ladder(name, total, workers)
+    reference = replay_cut_points(make(name, total, workers),
+                                  total, workers)
+    assert ladder.cut_points() == reference
+    assert int(ladder.sizes.sum()) == total
+
+
+def test_verify_shortcut_equals_slow_replay():
+    """The str-scheme shortcut in replay_cut_points is not circularly
+    trusted: pin it against the instance (slow) path explicitly."""
+    for name in PURE_SCHEMES:
+        for total, workers in [(100, 4), (0, 3), (3, 8), (1000, 7)]:
+            fast = replay_cut_points(name, total, workers)
+            slow = replay_cut_points(make(name, total, workers),
+                                     total, workers)
+            assert fast == slow, (name, total, workers)
+
+
+def test_custom_order_bypasses_kernel():
+    """A caller-supplied service order must never hit the kernel (the
+    ladder has no notion of request interleaving) -- reversed order on
+    an order-sensitive scheme differs from the kernel ladder."""
+    total, workers = 100, 4
+    reversed_order = list(range(workers))[::-1]
+    via_order = replay_cut_points("FSS", total, workers,
+                                  order=reversed_order * total)
+    assert via_order is not None  # replay completed step-by-step
+
+
+def test_impure_schemes_rejected():
+    for name in ["S", "BC", "WF", "DTSS", "DFSS", "DFISS", "DTFSS"]:
+        with pytest.raises(SchemeError):
+            make_calculator(name, 100, 4)

@@ -2,12 +2,25 @@
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
 import pickle
+import signal
+import time
+from concurrent.futures import Future
 
 import numpy as np
 import pytest
 
-from repro.batch import ENV_JOBS, SimJob, batch_keys, resolve_jobs, run_batch
+from repro.batch import (
+    ENV_JOBS,
+    SimJob,
+    batch_keys,
+    resolve_jobs,
+    run_batch,
+    stream_batch,
+)
 from repro.core import names
 from repro.experiments import paper_cluster, paper_workload
 from repro.simulation import ClusterSpec, NodeSpec
@@ -148,6 +161,212 @@ class TestRunBatch:
         )
         assert results[0].total_iterations == 50
         assert wl._costs is not None  # warmed by run_batch
+
+
+def small_jobs(n=5) -> list[SimJob]:
+    """Cheap, distinct, deterministic jobs (distinct keys via tag)."""
+    wl = UniformWorkload(60, unit=2.0)
+    cluster = ClusterSpec(nodes=[
+        NodeSpec(name=f"n{i}", speed=50.0 + 10.0 * i) for i in range(3)
+    ])
+    schemes = ["SS", "CSS(4)", "GSS", "TSS", "FSS"]
+    return [
+        SimJob(schemes[i % len(schemes)], wl, cluster, tag=f"j{i}")
+        for i in range(n)
+    ]
+
+
+def result_rows(result):
+    """The comparable core of a SimResult (exact, per-chunk)."""
+    return (
+        result.scheme, result.t_p, result.events,
+        [(c.worker, c.start, c.stop, c.assigned_at, c.completed_at)
+         for c in result.chunks],
+        [w.row() for w in result.workers],
+    )
+
+
+class _SyncPool(object):
+    """Executor stub that runs inline and records submission times."""
+
+    _max_workers = 2
+
+    def __init__(self):
+        self.submitted = 0
+
+    def submit(self, fn, *args):
+        self.submitted += 1
+        fut = Future()
+        fut.set_result(fn(*args))
+        return fut
+
+
+@dataclasses.dataclass(frozen=True)
+class _KillJob(SimJob):
+    """A job that SIGTERMs its own process when run (sequential path)."""
+
+    def run(self):
+        os.kill(os.getpid(), signal.SIGTERM)
+        time.sleep(5.0)  # interrupted by the translated signal
+        raise AssertionError("SIGTERM was not delivered")
+
+
+class TestStreamBatch:
+    def test_yields_submission_order_and_matches_run_batch(self):
+        jobs = small_jobs()
+        streamed = list(stream_batch(jobs))
+        assert [idx for idx, _ in streamed] == list(range(len(jobs)))
+        straight = run_batch(jobs)
+        for (_, a), b in zip(streamed, straight):
+            assert result_rows(a) == result_rows(b)
+
+    def test_persist_writes_one_flushed_line_per_job(self, tmp_path):
+        jobs = small_jobs()
+        path = str(tmp_path / "sweep.jsonl")
+        run_batch(jobs, persist=path)
+        lines = [json.loads(line)
+                 for line in open(path, encoding="utf-8")]
+        assert [rec["key"] for rec in lines] == batch_keys(jobs)
+        assert [rec["index"] for rec in lines] == list(range(len(jobs)))
+        manifest = json.load(open(path + ".manifest.json"))
+        assert manifest == {
+            "total": len(jobs), "done": len(jobs), "complete": True,
+        }
+
+    def test_resume_skips_persisted_jobs(self, tmp_path, monkeypatch):
+        jobs = small_jobs()
+        path = str(tmp_path / "sweep.jsonl")
+        first = run_batch(jobs, persist=path)
+        # A resumed sweep must not execute anything: running a job now
+        # is an error.
+        monkeypatch.setattr(
+            SimJob, "run",
+            lambda self: (_ for _ in ()).throw(
+                AssertionError("resume re-ran a persisted job")),
+        )
+        second = run_batch(jobs, persist=path, resume=True)
+        for a, b in zip(first, second):
+            assert result_rows(a) == result_rows(b)
+        # No duplicate lines were appended.
+        assert len(open(path, encoding="utf-8").readlines()) == len(jobs)
+
+    def test_partial_resume_runs_only_the_remainder(self, tmp_path):
+        jobs = small_jobs(6)
+        path = str(tmp_path / "sweep.jsonl")
+        # Persist the first three jobs only.
+        run_batch(jobs[:3], persist=path)
+        runs = []
+        original = SimJob.run
+
+        def counting_run(self):
+            runs.append(self.tag)
+            return original(self)
+
+        try:
+            SimJob.run = counting_run
+            resumed = run_batch(jobs, persist=path, resume=True)
+        finally:
+            SimJob.run = original
+        assert runs == ["j3", "j4", "j5"]
+        assert [result_rows(r) for r in resumed] \
+            == [result_rows(r) for r in run_batch(jobs)]
+
+    def test_resume_tolerates_torn_tail_line(self, tmp_path):
+        jobs = small_jobs(3)
+        path = str(tmp_path / "sweep.jsonl")
+        run_batch(jobs[:2], persist=path)
+        # Simulate a sweep killed mid-write: torn, unterminated tail.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "dead-beef", "resu')
+        resumed = run_batch(jobs, persist=path, resume=True)
+        assert len(resumed) == 3
+        # The torn line was newline-patched and skipped; the new record
+        # starts on its own clean line after it.
+        lines = open(path, encoding="utf-8").read().splitlines()
+        assert len(lines) == 4
+        assert json.loads(lines[-1])["key"] == jobs[2].key
+
+    def test_interrupt_flushes_results_and_manifest(self, tmp_path):
+        """A sweep killed mid-run persists everything finished plus a
+        complete=false manifest, and resume finishes the job."""
+        jobs = small_jobs(5)
+        path = str(tmp_path / "sweep.jsonl")
+        seen = []
+        with pytest.raises(KeyboardInterrupt):
+            for idx, _result in stream_batch(jobs, persist=path):
+                seen.append(idx)
+                if idx == 1:
+                    raise KeyboardInterrupt
+        assert seen == [0, 1]
+        manifest = json.load(open(path + ".manifest.json"))
+        assert manifest == {"total": 5, "done": 2, "complete": False}
+        assert len(open(path, encoding="utf-8").readlines()) == 2
+        resumed = run_batch(jobs, persist=path, resume=True)
+        assert [result_rows(r) for r in resumed] \
+            == [result_rows(r) for r in run_batch(jobs)]
+        manifest = json.load(open(path + ".manifest.json"))
+        assert manifest == {"total": 5, "done": 5, "complete": True}
+
+    def test_early_break_writes_partial_manifest(self, tmp_path):
+        jobs = small_jobs(4)
+        path = str(tmp_path / "sweep.jsonl")
+        for idx, _result in stream_batch(jobs, persist=path):
+            if idx == 0:
+                break
+        manifest = json.load(open(path + ".manifest.json"))
+        assert manifest == {"total": 4, "done": 1, "complete": False}
+
+    def test_sigterm_flushes_like_ctrl_c(self, tmp_path):
+        """Regression: a killed sweep (SIGTERM) must leave resumable
+        state -- finished lines on disk and a partial manifest."""
+        jobs = small_jobs(4)
+        killer = _KillJob(
+            jobs[2].scheme, jobs[2].workload, jobs[2].cluster,
+            tag=jobs[2].tag,
+        )
+        path = str(tmp_path / "sweep.jsonl")
+        previous = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(KeyboardInterrupt):
+            run_batch([jobs[0], jobs[1], killer, jobs[3]], persist=path)
+        # Handler restored after the sweep.
+        assert signal.getsignal(signal.SIGTERM) is previous
+        manifest = json.load(open(path + ".manifest.json"))
+        assert manifest == {"total": 4, "done": 2, "complete": False}
+        assert len(open(path, encoding="utf-8").readlines()) == 2
+        resumed = run_batch(jobs, persist=path, resume=True)
+        assert [result_rows(r) for r in resumed] \
+            == [result_rows(r) for r in run_batch(jobs)]
+
+    def test_window_bounds_inflight_submissions(self):
+        jobs = small_jobs(10)
+        pool = _SyncPool()
+        gen = stream_batch(jobs, n_jobs=4, window=3, pool=pool)
+        next(gen)
+        # Only the window is submitted ahead of the consumer.
+        assert pool.submitted <= 3
+        consumed = 1
+        for _ in gen:
+            consumed += 1
+            assert pool.submitted <= consumed + 3
+        assert pool.submitted == len(jobs)
+
+    def test_pool_path_persist_and_resume(self, tmp_path):
+        jobs = small_jobs(5)
+        path = str(tmp_path / "sweep.jsonl")
+        run_batch(jobs[:2], persist=path)
+        # Pool path with a partially-persisted file: cached results are
+        # interleaved with pool submissions, order preserved.
+        results = run_batch(jobs, persist=path, resume=True,
+                            pool=_SyncPool())
+        assert [result_rows(r) for r in results] \
+            == [result_rows(r) for r in run_batch(jobs)]
+
+    def test_process_pool_streaming_matches_serial(self):
+        jobs = small_jobs(4)
+        serial = run_batch(jobs, n_jobs=1)
+        parallel = run_batch(jobs, n_jobs=2, window=2)
+        assert [result_rows(r) for r in serial] \
+            == [result_rows(r) for r in parallel]
 
 
 class TestResolveJobs:
