@@ -1,0 +1,117 @@
+"""Bench adaptive: the meta-scheduler wrapper must stay ~free.
+
+The adaptive scheduler delegates every ``next_chunk`` to a registry
+sub-scheduler and adds per-chunk bookkeeping (span recording, the
+speed map) plus per-stage bandit/tuner work.  On a uniform workload
+with a single candidate and a single stage it is *decision-equivalent*
+to the fixed scheme it wraps (the unit suite proves the ledgers
+identical), so the cost difference is pure wrapper overhead.
+
+A wall-clock A/B of two full DES runs cannot resolve a 5% bound on a
+noisy CI runner, so the guard composes two stable measurements, the
+same way ``test_bench_obs.py`` bounds the disabled-observability path:
+
+* **per-chunk wrapper cost** -- min-of-N pure scheduler drains (no
+  DES) of ``adaptive:SS@1`` vs plain ``SS``: 6000 chunk hand-outs per
+  drain, so the difference is the bookkeeping itself;
+* **reference run cost** -- min-of-N of the fixed-scheme DES run the
+  wrapper would ride along with.
+
+The bound: summed wrapper cost over all chunks < 5% of the reference
+DES runtime.  SS is the worst case (one chunk per iteration); every
+real candidate amortises the same per-chunk cost over larger chunks.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import make
+from repro.core.base import WorkerView
+from repro.simulation import ClusterSpec, NodeSpec, simulate
+from repro.workloads import UniformWorkload
+
+#: SS hands out one chunk per iteration: 6000 scheduler round-trips,
+#: the worst case for per-chunk wrapper bookkeeping.
+WL = UniformWorkload(size=6000, unit=1e-6)
+#: Degenerate spec: one candidate, one stage -> same ledger as "SS".
+DEGENERATE = "adaptive:SS@1"
+MULTI = "adaptive:TSS+FSS+GSS@6"
+#: Wrapper overhead bound vs the wrapped fixed scheme's DES run.
+OVERHEAD = 0.05
+
+
+def _cluster(n=4):
+    return ClusterSpec(
+        nodes=[NodeSpec(name=f"n{i}", speed=100.0) for i in range(n)]
+    )
+
+
+def _min_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _drain(spec):
+    views = [WorkerView(worker_id=i) for i in range(4)]
+    sched = make(spec, WL.size, 4)
+    i = 0
+    chunks = 0
+    while True:
+        chunk = sched.next_chunk(views[i % 4])
+        if chunk is None:
+            return chunks
+        chunks += 1
+        i += 1
+
+
+def test_degenerate_adaptive_matches_fixed_result():
+    """Sanity for the guard below: same chunks, same virtual time."""
+    cluster = _cluster()
+    fixed = simulate("SS", WL, cluster, fast=False)
+    meta = simulate(DEGENERATE, WL, cluster, fast=False)
+    assert meta.t_p == fixed.t_p
+    assert [(c.worker, c.start, c.stop) for c in meta.chunks] == [
+        (c.worker, c.start, c.stop) for c in fixed.chunks
+    ]
+
+
+def test_adaptive_wrapper_overhead_under_5pct(bench_record, capsys):
+    cluster = _cluster()
+    WL.costs()  # warm the cost cache outside the timed regions
+    n_chunks = _drain("SS")
+    assert n_chunks == WL.size  # SS really is one chunk per iteration
+    fixed_drain = _min_of(lambda: _drain("SS"))
+    meta_drain = _min_of(lambda: _drain(DEGENERATE))
+    wrapper_cost = max(0.0, meta_drain - fixed_drain)
+    des_s = _min_of(lambda: simulate("SS", WL, cluster, fast=False))
+    multi_s = _min_of(lambda: simulate(MULTI, WL, cluster, fast=False))
+    per_chunk = wrapper_cost / n_chunks
+    ratio = wrapper_cost / des_s
+    bench_record(
+        "adaptive/wrapper-overhead",
+        fixed_drain_seconds=round(fixed_drain, 6),
+        adaptive_drain_seconds=round(meta_drain, 6),
+        per_chunk_seconds=round(per_chunk, 9),
+        des_seconds=round(des_s, 6),
+        overhead_ratio=round(ratio, 4),
+    )
+    with capsys.disabled():
+        print(
+            f"\n[bench adaptive] drain fixed {fixed_drain * 1e3:.1f}ms"
+            f"  adaptive {meta_drain * 1e3:.1f}ms  -> wrapper "
+            f"{per_chunk * 1e9:.0f}ns/chunk = {ratio:.2%} of the "
+            f"{des_s * 1e3:.1f}ms DES run"
+        )
+    assert wrapper_cost < OVERHEAD * des_s, (
+        f"adaptive wrapper bookkeeping costs {wrapper_cost:.4f}s over "
+        f"{n_chunks} chunks ({per_chunk * 1e9:.0f}ns/chunk) -- more "
+        f"than {OVERHEAD:.0%} of the {des_s:.4f}s fixed-scheme DES run"
+    )
+    # the multi-candidate run does real extra work (stage rebuilds,
+    # bandit updates) but must stay the same order of magnitude
+    assert multi_s < 3.0 * des_s + 0.02

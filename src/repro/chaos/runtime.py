@@ -331,6 +331,8 @@ def run_chaos(
         if isinstance(scheme, str)
         else scheme
     )
+    if getattr(scheduler, "feedback_dependent", False):
+        scheduler.bind_workload(workload)
     base = config or RuntimeConfig.from_env()
     # Fast polling keeps death detection and restart admission snappy
     # relative to plan timescales (callers can still override).

@@ -130,6 +130,12 @@ class Scheduler(ABC):
     name: str = "?"
     #: True for schemes that consume worker ACP (paper Sec. 6 pattern).
     distributed: bool = False
+    #: True for schemes whose decisions depend on runtime feedback
+    #: beyond ACP (e.g. :class:`repro.adaptive.AdaptiveScheduler`).
+    #: Substrates then wire the feedback hooks (``bind_workload``,
+    #: ``observe_completion``, ``drain_decisions``) and the analytic
+    #: fast path refuses the run.
+    feedback_dependent: bool = False
 
     def __init__(self, total: int, workers: int) -> None:
         if total < 0:

@@ -73,34 +73,107 @@ _INLINE_KEYWORD: dict[str, str] = {
     "DFISS": "stages",
 }
 
+#: The meta-scheduler's registry key.  It lives outside ``SCHEMES``
+#: because :class:`repro.adaptive.AdaptiveScheduler` builds *on* this
+#: registry (importing it here would be circular); :func:`parse` and
+#: :func:`make` special-case the key instead.
+ADAPTIVE_KEY = "ADAPTIVE"
+
+#: Spec grammar for the adaptive meta-scheduler (case-insensitive):
+#: ``adaptive``, ``adaptive:TSS+CSS(64)+GSS``, ``adaptive:TSS+FSS@8``.
+_ADAPTIVE_HINT = "adaptive[:SCHEME[+SCHEME...]][@STAGES]"
+
 
 def names() -> list[str]:
     """All registered scheme names, registry order."""
-    return list(SCHEMES)
+    return list(SCHEMES) + [ADAPTIVE_KEY]
 
 
-def parse(name: str) -> tuple[str, dict[str, int]]:
+def _parse_adaptive(spec: str) -> tuple[str, dict]:
+    """Parse an ``adaptive[:CAND[+CAND...]][@STAGES]`` spec string.
+
+    Candidates are validated eagerly (each must itself :func:`parse`,
+    must not be 'adaptive' again, and must not be ACP-driven) so every
+    string entry point -- ``simulate``, ``run_parallel``, ``SimJob``,
+    the CLIs -- rejects a bad spec with one shared message.
+    """
+    body = spec.strip()[len(ADAPTIVE_KEY):]
+    kwargs: dict = {}
+    if "@" in body:
+        body, _, stages_s = body.rpartition("@")
+        try:
+            stages = int(stages_s)
+        except ValueError:
+            stages = 0
+        if stages < 1:
+            raise SchemeError(
+                f"bad stage count {stages_s!r} in adaptive spec "
+                f"{spec!r}: must be a positive integer "
+                f"({_ADAPTIVE_HINT})"
+            )
+        kwargs["stages"] = stages
+    if body:
+        if not body.startswith(":"):
+            raise SchemeError(
+                f"malformed adaptive spec {spec!r}; expected "
+                f"{_ADAPTIVE_HINT}"
+            )
+        raw = [c.strip() for c in body[1:].split("+")]
+        if not any(raw) or any(not c for c in raw):
+            raise SchemeError(
+                f"adaptive spec {spec!r} has an empty candidate "
+                f"(set); give at least one scheme, e.g. "
+                f"'adaptive:TSS+FSS+GSS'"
+            )
+        for cand in raw:
+            ckey, _ = parse(cand)  # raises for unknown candidates
+            if ckey == ADAPTIVE_KEY:
+                raise SchemeError(
+                    f"adaptive spec {spec!r} nests 'adaptive' inside "
+                    f"itself; candidates must be fixed schemes"
+                )
+            if SCHEMES[ckey].distributed:
+                fixed = [
+                    n for n, cls in SCHEMES.items() if not cls.distributed
+                ]
+                raise SchemeError(
+                    f"candidate {cand!r} in adaptive spec {spec!r} is "
+                    f"ACP-driven (distributed); pick from: "
+                    f"{', '.join(fixed)}"
+                )
+        kwargs["candidates"] = tuple(c.upper() for c in raw)
+    return ADAPTIVE_KEY, kwargs
+
+
+def parse(name: str) -> tuple[str, dict]:
     """Resolve a scheme string to ``(key, inline_kwargs)``.
 
-    Accepts everything :func:`make` accepts -- case-insensitive names
-    and the inline-parameter form ``"CSS(32)"`` -- but performs no
-    instantiation, so other factories (the decentral calculators, CLI
-    validation) share one parser and one error message.
+    Accepts everything :func:`make` accepts -- case-insensitive names,
+    the inline-parameter form ``"CSS(32)"``, and adaptive meta-scheduler
+    specs (``"adaptive:TSS+FSS@6"``) -- but performs no instantiation,
+    so other factories (the decentral calculators, CLI validation)
+    share one parser and one error message.
     """
     key = name.strip()
+    if key.upper().startswith(ADAPTIVE_KEY):
+        return _parse_adaptive(key.upper())
     match = _PARAM_RE.match(key)
-    inline: dict[str, int] = {}
+    inline: dict = {}
     if match:
         base, arg = match.group(1).upper(), int(match.group(2))
         if base not in _INLINE_KEYWORD:
-            raise SchemeError(f"scheme {base!r} takes no inline parameter")
+            raise SchemeError(
+                f"scheme {base!r} takes no inline parameter; "
+                f"parameterizable schemes: "
+                f"{', '.join(sorted(_INLINE_KEYWORD))}"
+            )
         inline[_INLINE_KEYWORD[base]] = arg
         key = base
     else:
         key = key.upper()
     if key not in SCHEMES:
         raise SchemeError(
-            f"unknown scheme {name!r}; known: {', '.join(SCHEMES)}"
+            f"unknown scheme {name!r}; known: {', '.join(names())}"
         )
     return key, inline
 
@@ -109,11 +182,17 @@ def make(name: str, total: int, workers: int, **kwargs) -> Scheduler:
     """Instantiate scheme ``name`` over ``total`` iterations.
 
     ``kwargs`` are forwarded to the scheme constructor (e.g.
-    ``alpha=2.0`` for FSS, ``acp_model=...`` for distributed schemes).
+    ``alpha=2.0`` for FSS, ``acp_model=...`` for distributed schemes,
+    ``seed=...`` for the adaptive meta-scheduler).
     """
     key, inline = parse(name)
     for kw, value in inline.items():
         kwargs.setdefault(kw, value)
+    if key == ADAPTIVE_KEY:
+        # Deferred import: repro.adaptive builds on this registry.
+        from ..adaptive import AdaptiveScheduler
+
+        return AdaptiveScheduler(total, workers, **kwargs)
     return SCHEMES[key](total, workers, **kwargs)
 
 

@@ -30,6 +30,10 @@ fault      a fault fired: ``detail`` is ``death`` / ``stall`` /
            ``delay`` / ``loss`` / ``spike`` / ``deadline``
 restart    a dead worker rejoined
 repair     the decentral parent re-executed a hole after the run
+adapt      the adaptive meta-scheduler opened a stage: ``[start,
+           stop)`` is the stage window, ``detail`` the decision
+           (``select TSS`` / ``retune CSS(64) k=12``), ``value`` the
+           efficiency posted for the previous stage
 ========== ===========================================================
 
 ``t`` is the substrate's own clock -- virtual seconds in the
@@ -68,6 +72,7 @@ EVENT_KINDS = frozenset({
     "fault",
     "restart",
     "repair",
+    "adapt",
 })
 
 #: The chunk-lifecycle subset (the ``request -> assign -> compute ->

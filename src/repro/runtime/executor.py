@@ -98,6 +98,10 @@ def run_parallel(
         if isinstance(scheme, str)
         else scheme
     )
+    if getattr(scheduler, "feedback_dependent", False):
+        # Adaptive meta-scheduling: the cost feedback loop needs the
+        # workload (the master process holds it; workers get copies).
+        scheduler.bind_workload(workload)
     config = config or RuntimeConfig.from_env()
     worker_delays = worker_delays or {}
     obs = _resolve_collector(collector)

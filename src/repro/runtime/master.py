@@ -147,6 +147,16 @@ def master_loop(
     worker_meta = dict(worker_meta or {})
     live = dict(connections)
     outstanding: dict[int, tuple[int, int]] = {}
+    #: adaptive (feedback-dependent) scheduler wiring: per-chunk
+    #: durations reported on result delivery, stage decisions drained
+    #: into ``adapt`` events after every scheduler consultation.
+    adaptive = bool(getattr(scheduler, "feedback_dependent", False))
+    assigned_at: dict[int, float] = {}
+
+    def emit_decisions(wid: int) -> None:
+        for d in scheduler.drain_decisions():
+            emit("adapt", wid, start=d.base, stop=d.base + d.size,
+                 stage=d.stage, value=d.reward, detail=d.summary())
     #: FIFO of intervals lost to worker deaths -- first lost, first
     #: reassigned (loop order), mirroring the simulator's deque.
     requeue: collections.deque[tuple[int, int]] = collections.deque()
@@ -170,6 +180,8 @@ def master_loop(
         try:
             outstanding[wid] = assignment
             chunks.append((wid, assignment[0], assignment[1]))
+            if adaptive:
+                assigned_at[wid] = time.monotonic()
             conn.send(Assign(*assignment))
             if obs:
                 emit("assign", wid, start=assignment[0],
@@ -199,6 +211,12 @@ def master_loop(
             if obs and delivered is not None:
                 emit("result", wid, start=delivered[0],
                      stop=delivered[1])
+            if adaptive and delivered is not None:
+                sent = assigned_at.pop(wid, None)
+                scheduler.observe_completion(
+                    wid, delivered[0], delivered[1],
+                    0.0 if sent is None else time.monotonic() - sent,
+                )
         else:
             stale = outstanding.pop(wid, None)
             if stale is not None:
@@ -221,6 +239,8 @@ def master_loop(
             worker_id=wid, virtual_power=vp, run_queue=rq, acp=req.acp
         )
         chunk = scheduler.next_chunk(view)
+        if adaptive and obs:
+            emit_decisions(wid)
         if chunk is not None:
             send_assignment(wid, (chunk.start, chunk.stop))
         elif outstanding or hooks.expects_more():
@@ -242,6 +262,7 @@ def master_loop(
         last_seen.pop(wid, None)
         if wid in parked:
             parked.remove(wid)
+        assigned_at.pop(wid, None)
         lost = outstanding.pop(wid, None)
         if was_live or lost is not None:
             logger.warning(

@@ -186,6 +186,15 @@ class MasterSlaveSimulation(object):
         self.scheduler = scheduler
         self.workload = workload
         self.cluster = cluster
+        #: feedback-dependent (adaptive) schedulers get the workload's
+        #: cost structure, per-chunk completion reports, and their
+        #: stage decisions drained into ``adapt`` events.  Cached as a
+        #: plain bool so the hot path pays one truth test.
+        self._adaptive = bool(
+            getattr(scheduler, "feedback_dependent", False)
+        )
+        if self._adaptive:
+            scheduler.bind_workload(workload)
         self.acp_model = acp_model
         self.collect_results = collect_results
         self.queue = EventQueue()
@@ -376,6 +385,14 @@ class MasterSlaveSimulation(object):
                 acp=acp,
             )
             chunk = self.scheduler.next_chunk(view)
+            if self._adaptive and self.observing:
+                for d in self.scheduler.drain_decisions():
+                    self.obs.emit(ObsEvent(
+                        "adapt", _SRC, service_end, state.index,
+                        start=d.base, stop=d.base + d.size,
+                        stage=d.stage, value=d.reward,
+                        detail=d.summary(),
+                    ))
             if chunk is not None:
                 assignment = (chunk.start, chunk.stop, chunk.stage, acp)
         if assignment is None:
@@ -437,6 +454,10 @@ class MasterSlaveSimulation(object):
         state.metrics.t_comp += finish - t
         state.metrics.chunks += 1
         state.metrics.iterations += stop - start
+        if self._adaptive:
+            self.scheduler.observe_completion(
+                state.index, start, stop, finish - t
+            )
         self._chunks.append(
             ChunkRecord(
                 worker=state.index,

@@ -153,9 +153,17 @@ def master_fast_reason(sim) -> Optional[str]:
     The fast path replays the fault-free switched-network protocol
     exactly; anything that perturbs it -- chaos plans, ``fails_at``
     deaths, shared-segment contention (transfer ordering becomes
-    entangled with send times), or an attached collector (emission
-    points sit inside the collapsed handlers) -- falls back to the DES.
+    entangled with send times), an attached collector (emission points
+    sit inside the collapsed handlers), or a feedback-dependent
+    scheduler (the adaptive meta-scheduler consumes per-chunk
+    observations the collapsed recurrence never produces) -- falls back
+    to the DES.
     """
+    if getattr(sim.scheduler, "feedback_dependent", False):
+        return (
+            "the scheduler is feedback-dependent (adaptive "
+            "meta-scheduling observes the run it is steering)"
+        )
     return _cluster_fast_reason(sim.cluster, sim.chaos, sim.obs)
 
 

@@ -50,6 +50,7 @@ from .obs.events import ObsEvent, SchemaError, validate_event
 __all__ = [
     "AuditError",
     "AuditReport",
+    "audit_adaptive",
     "audit_chunks",
     "audit_events",
     "audit_sim",
@@ -436,6 +437,127 @@ def audit_run(
         _check_conformance(
             spans, scheme, total, nworkers, report, **scheme_kwargs
         )
+    return report
+
+
+def _extract_spans(trace) -> list[tuple[int, int]]:
+    """Chunk spans from a SimResult, runtime result, or raw span list."""
+    chunks = getattr(trace, "chunks", trace)
+    spans: list[tuple[int, int]] = []
+    for rec in chunks:
+        if hasattr(rec, "start"):
+            spans.append((rec.start, rec.stop))
+        elif len(rec) == 3:  # runtime (worker, start, stop) triple
+            spans.append((rec[1], rec[2]))
+        else:
+            spans.append((rec[0], rec[1]))
+    return spans
+
+
+def audit_adaptive(
+    trace,
+    decisions,
+    total: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> AuditReport:
+    """Audit an adaptive run against its own decision log.
+
+    ``trace`` is a :class:`~repro.simulation.SimResult`, a runtime
+    result (``.chunks`` of ``(worker, start, stop)``), or a raw span
+    list; ``decisions`` is an
+    :class:`~repro.adaptive.AdaptiveScheduler` (its ``decisions`` log
+    is read) or the :class:`~repro.adaptive.StageDecision` list itself.
+
+    Checks, on top of the exactly-once core:
+
+    * **stage-tiling** -- the ``select`` decisions partition
+      ``[0, total)``: consecutive stage windows abut and cover the
+      loop, so no switch ever skipped or re-issued an iteration;
+    * **stage-alignment** -- every executed chunk lies inside exactly
+      one stage window (a chunk crossing a switch point would mean the
+      sub-scheduler escaped its stage);
+    * **stage-conformance** -- for stages whose scheme is
+      order-invariant (the :data:`_ORDER_INVARIANT` set), the traced
+      cut points inside the window equal a pure
+      :func:`replay_cut_points` of that stage's scheme and recorded
+      parameters, shifted to the stage base.  Requeued intervals are
+      reassigned verbatim on every substrate, so this holds under
+      fault plans too.  Stages running request-order-dependent schemes
+      (FSS/FISS/TFSS/WF ladders) are skipped, like the fixed-scheme
+      conformance audit skips them.
+    """
+    decs = list(getattr(decisions, "decisions", decisions))
+    selects = sorted(
+        (d for d in decs if d.kind == "select"), key=lambda d: d.stage
+    )
+    spans = _extract_spans(trace)
+    if total is None:
+        total = max((stop for _start, stop in spans), default=0)
+    report = AuditReport(subject=f"adaptive[{len(selects)} stages]")
+    _check_coverage(spans, total, report)
+
+    report.checks.append("stage-tiling")
+    cursor = 0
+    for d in selects:
+        if d.base != cursor:
+            report.violations.append(
+                f"stage {d.stage} opens at {d.base}, expected {cursor} "
+                f"(stages must abut)"
+            )
+        cursor = d.base + d.size
+    if selects and cursor != total:
+        report.violations.append(
+            f"stages cover [0, {cursor}) but the loop has {total} "
+            f"iterations"
+        )
+
+    report.checks.append("stage-alignment")
+    bounds = sorted((d.base, d.base + d.size) for d in selects)
+    for start, stop in spans:
+        inside = any(b <= start and stop <= e for b, e in bounds)
+        if not inside:
+            report.violations.append(
+                f"chunk [{start}, {stop}) crosses a stage boundary"
+            )
+    if not report.ok:
+        return report
+
+    if workers is None:
+        workers = max(
+            (
+                getattr(rec, "worker", rec[0] if len(rec) == 3 else 0)
+                for rec in getattr(trace, "chunks", trace)
+            ),
+            default=0,
+        ) + 1
+    checked = 0
+    for d in selects:
+        key, _inline = _registry.parse(d.scheme)
+        if key not in _ORDER_INVARIANT:
+            continue
+        expected = replay_cut_points(
+            d.scheme, d.size, workers, **d.params
+        )
+        if expected is None:  # pragma: no cover - candidates are simple
+            continue
+        checked += 1
+        window = frozenset(d.base + pt for pt in expected)
+        traced = frozenset(
+            pt
+            for start, stop in spans
+            if d.base <= start and stop <= d.base + d.size
+            for pt in (start, stop)
+        )
+        if traced != window:
+            extra = sorted(traced - window)[:8]
+            missing = sorted(window - traced)[:8]
+            report.violations.append(
+                f"stage {d.stage} ({d.scheme}) boundaries diverge from "
+                f"the pure replay (unexpected cuts {extra}, missing "
+                f"cuts {missing})"
+            )
+    if checked:
+        report.checks.append("stage-conformance")
     return report
 
 

@@ -1,0 +1,26 @@
+"""Shared helpers for the adaptive meta-scheduler suite."""
+
+from __future__ import annotations
+
+from repro.core.base import WorkerView
+
+
+def drain(scheduler, workers=None):
+    """Drive a scheduler to exhaustion round-robin; returns the
+    ``(worker, start, stop)`` ledger in assignment order.
+
+    The standalone analogue of the master loop: workers request in a
+    fixed rotation, which for the adaptive scheduler exercises stage
+    opening/closing without any substrate attached.
+    """
+    p = workers if workers is not None else scheduler.workers
+    views = [WorkerView(worker_id=i) for i in range(p)]
+    ledger = []
+    i = 0
+    while not scheduler.finished:
+        chunk = scheduler.next_chunk(views[i % p])
+        if chunk is None:
+            break
+        ledger.append((i % p, chunk.start, chunk.stop))
+        i += 1
+    return ledger

@@ -1,0 +1,62 @@
+"""The analytic fast path must refuse feedback-dependent schedulers.
+
+The fast path collapses a run to the scheme's chunk recurrence under
+the fault-free, homogeneous assumptions -- but the adaptive scheduler's
+recurrence *is* the feedback it observes, so there is nothing to
+collapse.  ``fast="auto"`` must fall back to the DES silently;
+``fast=True`` must fail loudly with the reason.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make
+from repro.simulation import ClusterSpec, NodeSpec, SimulationError, simulate
+from repro.simulation.fastpath import master_fast_reason
+from repro.workloads import UniformWorkload
+
+WL = UniformWorkload(size=400, unit=2.0)
+
+
+def _cluster(n=4):
+    return ClusterSpec(
+        nodes=[NodeSpec(name=f"n{i}", speed=100.0) for i in range(n)]
+    )
+
+
+def test_fast_reason_names_feedback_dependence():
+    from repro.simulation.engine import MasterSlaveSimulation
+
+    sim = MasterSlaveSimulation(
+        make("adaptive:TSS+GSS", WL.size, 4), WL, _cluster()
+    )
+    reason = master_fast_reason(sim)
+    assert reason is not None
+    assert "feedback-dependent" in reason
+
+
+def test_fast_true_raises_with_clear_error():
+    with pytest.raises(SimulationError) as exc:
+        simulate("adaptive:TSS+GSS", WL, _cluster(), fast=True)
+    msg = str(exc.value)
+    assert "fast=True" in msg
+    assert "feedback-dependent" in msg
+
+
+def test_fast_auto_falls_back_to_des():
+    auto = simulate("adaptive:TSS+GSS@4", WL, _cluster(), fast="auto")
+    des = simulate("adaptive:TSS+GSS@4", WL, _cluster(), fast=False)
+    assert auto.t_p == des.t_p
+    assert [
+        (c.worker, c.start, c.stop) for c in auto.chunks
+    ] == [(c.worker, c.start, c.stop) for c in des.chunks]
+
+
+def test_fixed_schemes_still_take_the_fast_path():
+    """The guard is scoped: plain schemes on the same cluster stay
+    fast-path eligible."""
+    from repro.simulation.engine import MasterSlaveSimulation
+
+    sim = MasterSlaveSimulation(make("TSS", WL.size, 4), WL, _cluster())
+    assert master_fast_reason(sim) is None

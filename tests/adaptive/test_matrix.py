@@ -1,0 +1,78 @@
+"""Scenario-matrix regression: adaptive never loses badly.
+
+The acceptance bound for the meta-scheduler: across a grid of workload
+shapes x fault scenarios on a heterogeneous cluster, the adaptive
+makespan stays within 5% of the *best fixed candidate of that cell* --
+a bar no single fixed scheme clears, since each cell has a different
+winner.  Marked ``slow``: the full grid simulates dozens of runs, so
+tier-1 skips it (``-m "not slow"`` in the default addopts) and the
+dedicated CI job runs it with cached cost profiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import FaultPlan
+from repro.simulation import simulate
+from repro.workloads import (
+    GaussianPeakWorkload,
+    LinearWorkload,
+    UniformWorkload,
+)
+
+from ..conftest import make_cluster
+
+pytestmark = pytest.mark.slow
+
+TOTAL = 1600
+WORKERS = 4
+CANDIDATES = ("TSS", "FSS", "GSS")
+ADAPTIVE = "adaptive:" + "+".join(CANDIDATES) + "@10"
+#: adaptive t_p <= best fixed t_p * BOUND per cell (the ISSUE bar).
+BOUND = 1.05
+
+WORKLOADS = {
+    "uniform": lambda: UniformWorkload(TOTAL, unit=5.0),
+    "peak": lambda: GaussianPeakWorkload(TOTAL, amplitude=50.0),
+    "decreasing": lambda: LinearWorkload(TOTAL, increasing=False,
+                                         base=40.0, slope=0.02),
+}
+SCENARIOS = {
+    "clean": None,
+    "spike": dict(deaths=0, delays=0, losses=0, stalls=0, spikes=3),
+    "chaos": dict(deaths=1, spikes=1),
+}
+
+
+def _cell_kwargs(scenario, seed, ref_tp):
+    plan_kwargs = SCENARIOS[scenario]
+    if plan_kwargs is None:
+        return {}
+    plan = FaultPlan.random(seed, workers=WORKERS, horizon=1.0,
+                            **plan_kwargs)
+    return {"chaos": plan.scaled(0.5 * ref_tp)}
+
+
+@pytest.mark.parametrize("scenario", list(SCENARIOS))
+@pytest.mark.parametrize("wl_name", list(WORKLOADS))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_adaptive_within_5pct_of_best_fixed(wl_name, scenario, seed):
+    wl = WORKLOADS[wl_name]()
+    cluster = make_cluster()
+    ref_tp = simulate("TSS", wl, cluster).t_p
+    kwargs = _cell_kwargs(scenario, seed, ref_tp)
+
+    fixed = {
+        scheme: simulate(scheme, wl, cluster, **kwargs).t_p
+        for scheme in CANDIDATES
+    }
+    adaptive = simulate(ADAPTIVE, wl, cluster, seed=seed, **kwargs).t_p
+
+    best_scheme = min(fixed, key=fixed.get)
+    best = fixed[best_scheme]
+    assert adaptive <= best * BOUND, (
+        f"cell ({wl_name}, {scenario}, seed={seed}): adaptive "
+        f"{adaptive:.4f}s vs best fixed {best_scheme} {best:.4f}s "
+        f"(ratio {adaptive / best:.3f} > {BOUND})"
+    )
