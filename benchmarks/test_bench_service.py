@@ -1,0 +1,144 @@
+"""Bench service: framing cost, daemon overhead, pool throughput.
+
+Three claims back the service layer's "thin multiplexer" design (see
+``docs/service.md``):
+
+* the wire codec is microseconds per frame -- encode + incremental
+  decode of a typical submit document stays far below any job's
+  runtime;
+* daemon round-trip overhead (connect, submit, wait over a Unix
+  socket, against a warm pool) adds bounded latency on top of the
+  same job run one-shot in-process;
+* a shared pool sustains a stream of small jobs from multiple
+  tenants without the ledger or dispatch lock becoming the
+  bottleneck (throughput scales with job cost, not bookkeeping).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.runtime.config import RuntimeConfig
+from repro.service import ServiceClient
+from repro.service.jobs import job_from_spec
+from repro.service.pool import JobRecord, WorkerPool
+from repro.service.protocol import FrameDecoder, encode_frame
+from repro.service.server import ServiceConfig, ServiceServer
+
+SNAPPY = RuntimeConfig(
+    poll_timeout=0.05,
+    worker_deadline=20.0,
+    heartbeat_interval=0.2,
+    join_timeout=5.0,
+)
+
+SPEC = {
+    "scheme": "TSS",
+    "workload": {"kind": "uniform", "size": 200, "unit": 1e-4},
+    "cluster": {"workers": 3},
+}
+
+SUBMIT_DOC = {
+    "op": "submit", "seq": 17, "tenant": "bench", "spec": SPEC,
+}
+
+
+def test_bench_frame_codec_roundtrip(benchmark, bench_record):
+    """Encode + byte-stream decode of one submit frame."""
+    decoder = FrameDecoder()
+
+    def roundtrip():
+        return decoder.feed(encode_frame(SUBMIT_DOC))
+
+    docs = benchmark(roundtrip)
+    assert docs == [
+        {"op": "submit", "seq": 17, "tenant": "bench", "spec": SPEC}
+    ]
+    bench_record(
+        "service_frame_roundtrip",
+        seconds=benchmark.stats.stats.mean,
+    )
+
+
+def test_bench_daemon_round_trip_overhead(
+    benchmark, bench_record, tmp_path
+):
+    """submit+wait through a live daemon vs the one-shot run."""
+    import time
+
+    job = job_from_spec(SPEC)
+    t0 = time.perf_counter()
+    job.run()
+    one_shot = time.perf_counter() - t0
+
+    sock = str(tmp_path / "bench.sock")
+    server = ServiceServer(ServiceConfig(
+        workers=1, socket_path=sock, runtime=SNAPPY,
+        cache_dir=tmp_path / "cache",
+    ))
+    thread = threading.Thread(
+        target=lambda: asyncio.run(server.serve(install_signals=False)),
+        daemon=True,
+    )
+    thread.start()
+    client = ServiceClient.connect(sock, tenant="bench", retry_for=10.0)
+    try:
+        client.run(SPEC, timeout=120)  # warm the pool + cost cache
+
+        def round_trip():
+            out = client.run(SPEC, timeout=120)
+            assert out["state"] == "done"
+            return out
+
+        out = benchmark.pedantic(round_trip, rounds=5, iterations=1)
+        assert out["digest"]
+        service = benchmark.stats.stats.min
+        bench_record(
+            "service_round_trip",
+            one_shot_seconds=one_shot,
+            service_seconds=service,
+            overhead_seconds=max(0.0, service - one_shot),
+        )
+    finally:
+        try:
+            client.drain()
+        finally:
+            client.close()
+        thread.join(timeout=30.0)
+
+
+def test_bench_pool_throughput_small_jobs(benchmark, bench_record):
+    """A burst of small jobs from 3 tenants through a 2-slot pool."""
+    n_jobs = 12
+
+    def burst():
+        done = []
+        event = threading.Event()
+
+        def on_complete(record):
+            done.append(record)
+            if len(done) == n_jobs:
+                event.set()
+
+        with WorkerPool(size=2, config=SNAPPY,
+                        on_complete=on_complete) as pool:
+            for i in range(n_jobs):
+                pool.submit(JobRecord(
+                    job_id=f"j{i}", tenant=f"t{i % 3}",
+                    job=job_from_spec(SPEC),
+                ))
+            assert event.wait(timeout=120.0)
+        assert all(r.state == "done" for r in done)
+        return len(done)
+
+    count = benchmark.pedantic(burst, rounds=3, iterations=1)
+    assert count == n_jobs
+    bench_record(
+        "service_pool_burst",
+        jobs=n_jobs,
+        seconds=benchmark.stats.stats.min,
+        jobs_per_second=n_jobs / benchmark.stats.stats.min,
+    )

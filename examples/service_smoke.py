@@ -1,0 +1,131 @@
+"""Multi-tenant service smoke: daemon, chaos, digests, drain.
+
+Run:  python examples/service_smoke.py [--workers 2]
+
+This is the CI ``service`` job's scenario, runnable locally:
+
+  1. start a real ``repro-service`` daemon as a subprocess;
+  2. connect two tenants (alice, bob) on separate sockets;
+  3. compute each job's *one-shot* canonical stream digest in this
+     process -- the reference the service must hit bit-for-bit;
+  4. submit alice's (slow) job, SIGKILL the pool worker executing it
+     mid-loop, and submit bob's job while the pool recovers;
+  5. assert: alice's job re-executed exactly once (requeues == 1,
+     ledger audit clean) and BOTH digests equal their one-shot
+     references -- a fault in one tenant's job must not perturb any
+     tenant's results, including the victim's own;
+  6. SIGTERM the daemon and assert it drains gracefully (exit 0).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.obs import stream_digest
+from repro.service import ServiceClient
+from repro.service.jobs import job_from_spec
+from repro.verify import audit_service_log
+
+# "Slow" = wall-clock slow inside the worker: SS over a large loop
+# keeps the DES busy ~2s, a wide window to SIGKILL mid-job.
+SLOW = {
+    "scheme": "SS",
+    "workload": {"kind": "uniform", "size": 60000, "unit": 1e-4},
+    "cluster": {"workers": 2},
+    "tag": "alice-victim",
+}
+FAST = {
+    "scheme": "TSS",
+    "workload": {"kind": "uniform", "size": 400, "unit": 1e-4},
+    "cluster": {"workers": 4},
+    "tag": "bob-bystander",
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
+    print("== one-shot reference digests ==")
+    ref_slow = stream_digest(job_from_spec(SLOW).run().obs_events)
+    ref_fast = stream_digest(job_from_spec(FAST).run().obs_events)
+    print(f"   alice (slow): {ref_slow[:16]}…")
+    print(f"   bob   (fast): {ref_fast[:16]}…")
+
+    sock = os.path.join(tempfile.mkdtemp(), "repro.sock")
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service.cli", "serve",
+            "--socket", sock, "--workers", str(args.workers),
+        ],
+        env={**os.environ,
+             "PYTHONPATH": os.environ.get("PYTHONPATH", "src")},
+    )
+    try:
+        alice = ServiceClient.connect(sock, tenant="alice",
+                                      retry_for=15.0)
+        bob = ServiceClient.connect(sock, tenant="bob", retry_for=5.0)
+        print(f"== daemon up (pid {daemon.pid}) ==")
+
+        jid_a = alice.submit(SLOW)
+        # Wait until alice's job is actually on a worker, then find
+        # the slot from the ledger and SIGKILL it mid-loop.
+        slot = None
+        deadline = time.monotonic() + 15.0
+        while slot is None and time.monotonic() < deadline:
+            for entry in alice.log():
+                if entry["ev"] == "assign" and entry["job"] == jid_a:
+                    slot = entry["worker"]
+            if slot is None:
+                time.sleep(0.05)
+        assert slot is not None, "alice's job never got assigned"
+        assert alice.kill_worker(slot), "victim slot had no live worker"
+        print(f"== SIGKILLed slot {slot} while it ran alice's job ==")
+
+        jid_b = bob.submit(FAST)
+        out_b = bob.wait(jid_b, timeout=120)
+        out_a = alice.wait(jid_a, timeout=240)
+
+        print(f"   alice: state={out_a['state']} "
+              f"requeues={out_a['requeues']}")
+        print(f"   bob:   state={out_b['state']} "
+              f"requeues={out_b['requeues']}")
+        assert out_a["state"] == "done", out_a
+        assert out_a["requeues"] >= 1, \
+            "the kill must have forced at least one requeue"
+        assert out_a["digest"] == ref_slow, \
+            "victim tenant's digest diverged from one-shot"
+        assert out_b["digest"] == ref_fast, \
+            "bystander tenant's digest was perturbed by the fault"
+
+        report = audit_service_log(alice.log())
+        print("   " + report.summary().splitlines()[0])
+        report.raise_if_failed()
+
+        metrics = alice.metrics()
+        assert metrics["worker_deaths_total"]["value"] >= 1
+        print("== digests bit-equal, ledger audit clean ==")
+
+        alice.close()
+        bob.close()
+        daemon.send_signal(signal.SIGTERM)
+        code = daemon.wait(timeout=60)
+        assert code == 0, f"daemon exited {code} on SIGTERM drain"
+        print("== SIGTERM drain: clean exit ==")
+        print("service smoke: PASS")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,8 +51,11 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Iterator, Optional, Sequence
 
+from .obs.logutil import get_logger
 from .simulation import ClusterSpec, SimResult, simulate, simulate_tree
 from .workloads import Workload
+
+_log = get_logger("batch")
 
 __all__ = [
     "SimJob",
@@ -235,16 +238,34 @@ class _Persister(object):
         if path is None:
             return
         if resume and os.path.exists(path):
+            skipped = 0
             with open(path, "r", encoding="utf-8") as fh:
-                for line in fh:
+                for lineno, line in enumerate(fh, 1):
                     line = line.strip()
                     if not line:
                         continue
                     try:
                         rec = json.loads(line)
                     except ValueError:
-                        continue  # torn tail from a killed sweep
-                    self.loaded[rec["key"]] = rec
+                        # Torn tail from a killed sweep: skip it; the
+                        # job re-runs and rewrites a whole record.
+                        skipped += 1
+                        continue
+                    key = rec.get("key") if isinstance(rec, dict) \
+                        else None
+                    if not key:
+                        # Parses as JSON but is not one of our records
+                        # (e.g. a torn line that happens to be valid,
+                        # or foreign content): same treatment.
+                        skipped += 1
+                        continue
+                    self.loaded[key] = rec
+            if skipped:
+                _log.warning(
+                    "resume from %s: skipped %d unusable line(s) "
+                    "(torn tail or foreign content); the affected "
+                    "job(s) will re-run and be rewritten", path, skipped,
+                )
             with open(path, "rb+") as fh:
                 fh.seek(0, os.SEEK_END)
                 if fh.tell() > 0:

@@ -22,8 +22,11 @@ from .plan import (
     WorkerRestart,
 )
 from .runtime import ChaosController, run_chaos
+from .service import applicable_faults, inject_service_faults
 
 __all__ = [
+    "applicable_faults",
+    "inject_service_faults",
     "ChaosError",
     "FaultEvent",
     "FaultPlan",

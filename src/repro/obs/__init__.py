@@ -41,11 +41,13 @@ from .collect import (
     Collector,
     JsonlCollector,
     NullCollector,
+    TaggedCollector,
     capture,
     resolve,
 )
 from .events import (
     EVENT_KINDS,
+    JOB_KINDS,
     LIFECYCLE_KINDS,
     SOURCES,
     ObsEvent,
@@ -78,6 +80,7 @@ from .report import WorkerSummary, summarize_workers, trace_report
 
 __all__ = [
     "EVENT_KINDS",
+    "JOB_KINDS",
     "LIFECYCLE_KINDS",
     "SOURCES",
     "ENV_LOG_LEVEL",
@@ -89,6 +92,7 @@ __all__ = [
     "NullCollector",
     "BufferedCollector",
     "JsonlCollector",
+    "TaggedCollector",
     "capture",
     "resolve",
     "to_jsonl",

@@ -34,7 +34,21 @@ adapt      the adaptive meta-scheduler opened a stage: ``[start,
            stop)`` is the stage window, ``detail`` the decision
            (``select TSS`` / ``retune CSS(64) k=12``), ``value`` the
            efficiency posted for the previous stage
+job-submit the service admitted a tenant's job (``detail`` carries
+           ``tenant=... job=... scheme=...``)
+job-assign the service finished cost-profile resolution and queued
+           the job onto the shared pool
+job-result the job reached a terminal success; ``value`` carries the
+           pool execution time, ``worker`` the slot that ran it
+job-reject admission refused (``detail`` names the backpressure
+           reason: ``queue-full`` / ``tenant-quota`` / ``draining``)
+           or the job failed terminally
 ========== ===========================================================
+
+The four ``job-*`` kinds are the *service-level* lifecycle -- one
+event per job transition, emitted by :mod:`repro.service.server` into
+per-tenant streams -- as opposed to the chunk-level lifecycle the
+substrates emit per interval.
 
 ``t`` is the substrate's own clock -- virtual seconds in the
 simulators, seconds since run start in the real runtimes; ``wall`` is
@@ -52,6 +66,7 @@ __all__ = [
     "EVENT_KINDS",
     "SOURCES",
     "LIFECYCLE_KINDS",
+    "JOB_KINDS",
     "ObsEvent",
     "SchemaError",
     "validate_event",
@@ -73,6 +88,16 @@ EVENT_KINDS = frozenset({
     "restart",
     "repair",
     "adapt",
+    "job-submit",
+    "job-assign",
+    "job-result",
+    "job-reject",
+})
+
+#: The service-level job lifecycle subset (one event per job
+#: transition, vs. :data:`LIFECYCLE_KINDS` which is per chunk).
+JOB_KINDS = frozenset({
+    "job-submit", "job-assign", "job-result", "job-reject",
 })
 
 #: The chunk-lifecycle subset (the ``request -> assign -> compute ->
@@ -88,6 +113,7 @@ SOURCES = frozenset({
     "runtime.worker",   # runtime.worker.worker_main (shard writer)
     "runtime.decentral",  # decentral.executor (workers + repair)
     "chaos",            # fault drivers (ChaosController and kin)
+    "service",          # service.server job-level lifecycle
 })
 
 #: Kinds that must carry an interval.

@@ -32,6 +32,7 @@ rejected because every worker would time out by construction.
 from __future__ import annotations
 
 import dataclasses
+import math
 import os
 from typing import Optional
 
@@ -43,11 +44,19 @@ def _env_float(name: str) -> Optional[float]:
     if raw is None or raw.strip() == "":
         return None
     try:
-        return float(raw)
+        value = float(raw)
     except ValueError:
         raise ValueError(
             f"environment variable {name} must be a number, got {raw!r}"
         ) from None
+    if not math.isfinite(value):
+        # float("nan") / float("inf") parse fine but would either trip
+        # validation with a message that never names the env var, or
+        # (inf) silently disable polling forever.
+        raise ValueError(
+            f"environment variable {name} must be finite, got {raw!r}"
+        )
+    return value
 
 
 def _disable_if_nonpositive(value: Optional[float]) -> Optional[float]:
@@ -110,6 +119,15 @@ class RuntimeConfig(object):
         values: dict = {}
         poll = _env_float("REPRO_POLL_TIMEOUT")
         if poll is not None:
+            if poll <= 0:
+                # Unlike the deadline/heartbeat knobs there is no
+                # "disabled" reading of a non-positive poll timeout;
+                # fail here so the error names the variable instead of
+                # surfacing as a bare constructor complaint.
+                raise ValueError(
+                    f"environment variable REPRO_POLL_TIMEOUT must be "
+                    f"> 0, got {poll}"
+                )
             values["poll_timeout"] = poll
         deadline = _env_float("REPRO_WORKER_DEADLINE")
         if deadline is not None:

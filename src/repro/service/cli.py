@@ -1,0 +1,179 @@
+"""``repro-service`` -- command-line frontend for the daemon.
+
+Subcommands::
+
+    repro-service serve  --socket /tmp/repro.sock --workers 4
+    repro-service submit --socket /tmp/repro.sock --tenant alice \\
+                         --scheme TSS --workload uniform --size 500 \\
+                         --wait
+    repro-service submit --socket /tmp/repro.sock --spec job.json
+    repro-service status  --socket /tmp/repro.sock
+    repro-service metrics --socket /tmp/repro.sock
+    repro-service drain   --socket /tmp/repro.sock
+
+``serve`` runs until drained (SIGTERM or the ``drain`` subcommand);
+everything else is a thin wrapper over
+:class:`~repro.service.client.ServiceClient` printing JSON to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Loop self-scheduling as a multi-tenant service.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_transport(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--socket", default="/tmp/repro-service.sock",
+                       help="Unix socket path (default %(default)s)")
+        p.add_argument("--host", default=None,
+                       help="TCP host (overrides --socket)")
+        p.add_argument("--port", type=int, default=0,
+                       help="TCP port (with --host)")
+
+    serve = sub.add_parser("serve", help="run the daemon until drained")
+    add_transport(serve)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--queue-capacity", type=int, default=64)
+    serve.add_argument("--tenant-capacity", type=int, default=16)
+    serve.add_argument("--max-requeues", type=int, default=3)
+    serve.add_argument("--cache-dir", default=None,
+                       help="repro.cache directory shared by tenants")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job (flags or --spec JSON file)"
+    )
+    add_transport(submit)
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--spec", default=None,
+                        help="path to a JSON job spec ('-' for stdin)")
+    submit.add_argument("--scheme", default=None,
+                        help="scheme name (e.g. TSS, adaptive:TSS+FSS@8)")
+    submit.add_argument("--engine", default="master",
+                        choices=["master", "tree", "decentral"])
+    submit.add_argument("--workload", default="uniform",
+                        help="workload kind (default %(default)s)")
+    submit.add_argument("--size", type=int, default=500)
+    submit.add_argument("--unit", type=float, default=1e-4)
+    submit.add_argument("--cluster-workers", type=int, default=4)
+    submit.add_argument("--tag", default="")
+    submit.add_argument("--wait", action="store_true",
+                        help="block for the result and print it")
+    submit.add_argument("--timeout", type=float, default=None)
+
+    for name, help_text in (
+        ("status", "print the daemon's status document"),
+        ("metrics", "print the /metrics-style snapshot"),
+        ("drain", "close admission and let the daemon finish"),
+        ("trace", "print this tenant's job-level obs events"),
+        ("log", "print the pool's job ledger"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        add_transport(p)
+        p.add_argument("--tenant", default="default")
+    return parser
+
+
+def _client(args: argparse.Namespace):
+    from .client import ServiceClient
+
+    if args.host is not None:
+        return ServiceClient.connect(
+            args.host, tenant=args.tenant, port=args.port
+        )
+    return ServiceClient.connect(args.socket, tenant=args.tenant)
+
+
+def _spec_from_args(args: argparse.Namespace) -> dict[str, Any]:
+    if args.spec is not None:
+        if args.spec == "-":
+            return json.load(sys.stdin)
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    if args.scheme is None:
+        raise SystemExit(
+            "submit needs --spec or at least --scheme"
+        )
+    return {
+        "scheme": args.scheme,
+        "engine": args.engine,
+        "workload": {
+            "kind": args.workload,
+            "size": args.size,
+            "unit": args.unit,
+        },
+        "cluster": {"workers": args.cluster_workers},
+        "tag": args.tag,
+    }
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server import ServiceConfig, serve_until_complete
+
+    config = ServiceConfig(
+        socket_path=None if args.host is not None else args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        tenant_capacity=args.tenant_capacity,
+        max_requeues=args.max_requeues,
+        cache_dir=args.cache_dir,
+    )
+    serve_until_complete(config)
+    return 0
+
+
+def _dump(doc: Any) -> None:
+    json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    from .client import ServiceError
+
+    try:
+        with _client(args) as client:
+            if args.command == "submit":
+                job_id = client.submit(_spec_from_args(args))
+                if args.wait:
+                    _dump(client.wait(job_id, timeout=args.timeout))
+                else:
+                    _dump({"job_id": job_id})
+            elif args.command == "status":
+                _dump(client.status())
+            elif args.command == "metrics":
+                _dump(client.metrics())
+            elif args.command == "drain":
+                client.drain()
+                _dump({"draining": True})
+            elif args.command == "trace":
+                _dump(client.trace())
+            elif args.command == "log":
+                _dump(client.log())
+    except ServiceError as exc:
+        print(f"repro-service: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionRefusedError, FileNotFoundError) as exc:
+        print(f"repro-service: cannot reach daemon: {exc}",
+              file=sys.stderr)
+        return 3
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,199 @@
+"""Blocking client library for the ``repro-service`` daemon.
+
+One :class:`ServiceClient` is one tenant on one connection.  The
+protocol is strictly request/response per connection, so a client is
+trivially usable from scripts and tests; concurrency across tenants
+(the thing the daemon is *for*) comes from opening one client per
+tenant -- each gets its own socket, its own FIFO queue in the pool,
+and its own obs stream.
+
+Typical use::
+
+    with ServiceClient.connect("/tmp/repro.sock", tenant="alice") as c:
+        job_id = c.submit({"scheme": "TSS",
+                           "workload": {"kind": "uniform",
+                                        "size": 200, "unit": 1e-4}})
+        result = c.wait(job_id)
+        print(result["digest"], result["result"]["makespan"])
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Optional
+
+from .protocol import ProtocolError, recv_frame, send_frame
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered a request with an error reply.
+
+    ``reason`` carries the daemon's machine-readable error code
+    (``queue-full``, ``tenant-quota``, ``draining``, ``bad-spec``,
+    ``unknown-job``, ``timeout``, ...).
+    """
+
+    def __init__(self, reason: str, message: str = "") -> None:
+        super().__init__(
+            f"{reason}: {message}" if message else reason
+        )
+        self.reason = reason
+
+
+class ServiceClient(object):
+    """One tenant's blocking connection to a running daemon."""
+
+    def __init__(self, sock: socket.socket, tenant: str = "default") -> None:
+        self._sock = sock
+        self.tenant = tenant
+        self._seq = 0
+        hello = self._request({"op": "hello", "tenant": tenant})
+        self.server_info = {
+            k: v for k, v in hello.items() if k not in ("ok", "seq")
+        }
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def connect(
+        cls,
+        address: str,
+        tenant: str = "default",
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+        retry_for: float = 0.0,
+    ) -> "ServiceClient":
+        """Connect to a Unix socket path (or host+port when ``port``
+        is given).  ``retry_for`` > 0 keeps retrying a refused /
+        missing socket for that many seconds -- handy right after
+        spawning a daemon."""
+        deadline = time.monotonic() + retry_for
+        while True:
+            try:
+                if port is not None:
+                    sock = socket.create_connection(
+                        (address, port), timeout=timeout
+                    )
+                else:
+                    sock = socket.socket(socket.AF_UNIX,
+                                         socket.SOCK_STREAM)
+                    sock.settimeout(timeout)
+                    sock.connect(address)
+                return cls(sock, tenant=tenant)
+            except (ConnectionRefusedError, FileNotFoundError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, doc: dict[str, Any]) -> dict[str, Any]:
+        self._seq += 1
+        doc = dict(doc, seq=self._seq)
+        send_frame(self._sock, doc)
+        reply = recv_frame(self._sock)
+        if reply is None:
+            raise ProtocolError(
+                "daemon closed the connection mid-request"
+            )
+        return reply
+
+    def _checked(self, doc: dict[str, Any]) -> dict[str, Any]:
+        reply = self._request(doc)
+        if not reply.get("ok"):
+            raise ServiceError(
+                str(reply.get("error", "unknown")),
+                str(reply.get("message", "")),
+            )
+        return reply
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self._checked({"op": "ping"}).get("pong"))
+
+    def submit(self, job: dict[str, Any]) -> str:
+        """Submit a wire job spec; returns the job id.
+
+        Raises :class:`ServiceError` with the daemon's backpressure
+        reason (``queue-full`` / ``tenant-quota`` / ``draining`` /
+        ``bad-spec``) when the job is not admitted.
+        """
+        return str(
+            self._checked({"op": "submit", "job": job})["job_id"]
+        )
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> dict[str, Any]:
+        """Block until a job reaches a terminal state; returns its
+        payload (``result``, ``digest``, ``state``, ``requeues``,
+        optionally ``results`` / ``trace``)."""
+        doc: dict[str, Any] = {"op": "wait", "job_id": job_id}
+        if timeout is not None:
+            doc["timeout"] = timeout
+        return self._checked(doc)
+
+    def run(
+        self, job: dict[str, Any], timeout: Optional[float] = None
+    ) -> dict[str, Any]:
+        """submit + wait in one call."""
+        return self.wait(self.submit(job), timeout=timeout)
+
+    def status(self) -> dict[str, Any]:
+        return self._checked({"op": "status"})["status"]
+
+    def metrics(self) -> dict[str, Any]:
+        """The daemon's ``/metrics``-style registry snapshot."""
+        return self._checked({"op": "metrics"})["metrics"]
+
+    def trace(self, tenant: Optional[str] = None) -> list[dict]:
+        """This tenant's job-level obs events (``tenant='*'`` for the
+        merged cross-tenant stream)."""
+        doc: dict[str, Any] = {"op": "trace"}
+        if tenant is not None:
+            doc["tenant"] = tenant
+        return list(self._checked(doc)["events"])
+
+    def log(self) -> list[dict]:
+        """The pool's append-only job ledger (for audits)."""
+        return list(self._checked({"op": "log"})["log"])
+
+    def drain(self) -> None:
+        """Ask the daemon to drain (admission closes immediately)."""
+        self._checked({"op": "drain"})
+
+    def inject_chaos(
+        self, plan_json: dict, time_scale: float = 1.0
+    ) -> int:
+        """Ship a serialized FaultPlan; returns faults scheduled."""
+        return int(
+            self._checked(
+                {"op": "chaos", "plan": plan_json,
+                 "time_scale": time_scale}
+            )["scheduled"]
+        )
+
+    def kill_worker(self, slot: int) -> bool:
+        """SIGKILL one pool slot (chaos hook); True if a live worker
+        was hit."""
+        return bool(
+            self._checked(
+                {"op": "kill-worker", "worker": slot}
+            )["killed"]
+        )

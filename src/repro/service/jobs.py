@@ -1,0 +1,289 @@
+"""The wire job model: JSON specs -> the exact one-shot ``SimJob``.
+
+A service client describes a loop job as pure JSON (it crosses a
+socket), and the daemon rebuilds from it the *same*
+:class:`~repro.batch.SimJob` a one-shot caller would construct by
+hand.  That identity is the service's core correctness contract: a
+job executed through the daemon and the identical job run as
+``job_from_spec(spec).run()`` in a single process produce bit-equal
+results and byte-equal canonical stream digests (see
+:func:`repro.obs.stream_digest`), so the whole verification machinery
+built for one-shot runs transfers to service runs unchanged.
+
+Spec shape (only ``scheme`` and ``workload`` are required)::
+
+    {
+      "scheme":   "TSS",                  # any registry name, incl.
+                                          # "adaptive:TSS+FSS@8"
+      "engine":   "master",               # master | tree | decentral
+      "workload": {"kind": "uniform", "size": 500, "unit": 1e-4},
+      "cluster":  {"nodes": [{"name": "n0", "speed": 100.0}, ...],
+                   "master_service": 2e-4, ...},
+      "params":   {"alpha": 2.0, ...},    # extra simulate kwargs
+      "chaos":    {...FaultPlan.to_json()...},   # optional fault plan
+      "chaos_scale": 0.5,                 # optional FaultPlan.scaled
+      "tag":      "free-form label",
+      "results":  false,                  # ship loop results back?
+      "trace":    false                   # ship the obs trace back?
+    }
+
+``cluster`` defaults to ``workers`` (default 4) identical 100-ops/s
+nodes.  Workload kinds map onto :mod:`repro.workloads`: ``uniform``,
+``linear``, ``conditional``, ``random``, ``gaussian-peak``, ``trace``,
+``spin`` and ``mandelbrot`` (the paper's loop; expensive -- its cost
+profile is resolved once in the daemon and shared across every tenant
+through :mod:`repro.cache`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..batch import SimJob
+from ..simulation import ClusterSpec, NodeSpec
+from ..workloads import Workload
+
+__all__ = [
+    "JobSpecError",
+    "workload_from_spec",
+    "cluster_from_spec",
+    "job_from_spec",
+]
+
+
+class JobSpecError(ValueError):
+    """A wire job spec is malformed (unknown kind, bad field, ...)."""
+
+
+def _build_uniform(spec: dict) -> Workload:
+    from ..workloads import UniformWorkload
+
+    return UniformWorkload(
+        size=int(spec["size"]), unit=float(spec.get("unit", 1.0))
+    )
+
+
+def _build_linear(spec: dict) -> Workload:
+    from ..workloads import LinearWorkload
+
+    return LinearWorkload(
+        size=int(spec["size"]),
+        increasing=bool(spec.get("increasing", True)),
+        base=float(spec.get("base", 1.0)),
+        slope=float(spec.get("slope", 1.0)),
+    )
+
+
+def _build_conditional(spec: dict) -> Workload:
+    from ..workloads import ConditionalWorkload
+
+    return ConditionalWorkload(
+        size=int(spec["size"]),
+        cost_true=float(spec.get("cost_true", 10.0)),
+        cost_false=float(spec.get("cost_false", 1.0)),
+    )
+
+
+def _build_random(spec: dict) -> Workload:
+    from ..workloads import RandomWorkload
+
+    return RandomWorkload(
+        size=int(spec["size"]),
+        seed=int(spec.get("seed", 0)),
+        mean=float(spec.get("mean", 1.0)),
+        sigma=float(spec.get("sigma", 1.0)),
+    )
+
+
+def _build_gaussian(spec: dict) -> Workload:
+    from ..workloads import GaussianPeakWorkload
+
+    return GaussianPeakWorkload(
+        size=int(spec["size"]),
+        amplitude=float(spec.get("amplitude", 100.0)),
+        floor=float(spec.get("floor", 1.0)),
+        center=(
+            float(spec["center"]) if spec.get("center") is not None
+            else None
+        ),
+        width=(
+            float(spec["width"]) if spec.get("width") is not None
+            else None
+        ),
+    )
+
+
+def _build_trace(spec: dict) -> Workload:
+    from ..workloads.synthetic import TraceWorkload
+
+    costs = spec.get("costs")
+    if not isinstance(costs, (list, tuple)) or not costs:
+        raise JobSpecError(
+            "trace workloads need a non-empty 'costs' array"
+        )
+    return TraceWorkload(costs)
+
+
+def _build_spin(spec: dict) -> Workload:
+    from ..workloads.synthetic import SpinWorkload
+
+    return SpinWorkload(
+        size=int(spec["size"]),
+        spins=int(spec.get("spins", 20)),
+        veclen=int(spec.get("veclen", 2048)),
+    )
+
+
+def _build_mandelbrot(spec: dict) -> Workload:
+    from ..workloads import MandelbrotWorkload
+
+    kwargs: dict[str, Any] = {
+        "width": int(spec.get("width", 400)),
+        "height": int(spec.get("height", 200)),
+    }
+    if spec.get("max_iter") is not None:
+        kwargs["max_iter"] = int(spec["max_iter"])
+    wl = MandelbrotWorkload(**kwargs)
+    sf = spec.get("sf")
+    if sf is not None:
+        from ..workloads import ReorderedWorkload
+
+        return ReorderedWorkload(wl, int(sf))
+    return wl
+
+
+_WORKLOAD_BUILDERS = {
+    "uniform": _build_uniform,
+    "linear": _build_linear,
+    "conditional": _build_conditional,
+    "random": _build_random,
+    "gaussian-peak": _build_gaussian,
+    "trace": _build_trace,
+    "spin": _build_spin,
+    "mandelbrot": _build_mandelbrot,
+}
+
+
+def workload_from_spec(spec: dict) -> Workload:
+    """Build the workload a JSON spec names (see module doc)."""
+    if not isinstance(spec, dict):
+        raise JobSpecError(
+            f"workload spec must be an object, got {type(spec).__name__}"
+        )
+    kind = spec.get("kind")
+    builder = _WORKLOAD_BUILDERS.get(kind)
+    if builder is None:
+        raise JobSpecError(
+            f"unknown workload kind {kind!r}; known kinds: "
+            f"{', '.join(sorted(_WORKLOAD_BUILDERS))}"
+        )
+    if kind not in ("trace", "mandelbrot") and "size" not in spec:
+        raise JobSpecError(f"{kind} workloads need a 'size'")
+    try:
+        return builder(spec)
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, JobSpecError):
+            raise
+        raise JobSpecError(f"bad {kind} workload spec: {exc}") from exc
+
+
+def cluster_from_spec(
+    spec: Optional[dict], default_workers: int = 4
+) -> ClusterSpec:
+    """Build a :class:`ClusterSpec` from JSON (or the default cluster).
+
+    ``None`` (or ``{"workers": p}``) yields ``p`` identical
+    100-ops/s nodes -- the homogeneous testbed most service jobs want.
+    An explicit ``nodes`` array carries the full heterogeneous form.
+    """
+    spec = spec or {}
+    if not isinstance(spec, dict):
+        raise JobSpecError(
+            f"cluster spec must be an object, got {type(spec).__name__}"
+        )
+    cluster_kwargs: dict[str, Any] = {}
+    for field in ("master_service", "request_bytes", "reply_bytes",
+                  "result_bytes_per_item", "master_bandwidth"):
+        if spec.get(field) is not None:
+            cluster_kwargs[field] = float(spec[field])
+    raw_nodes = spec.get("nodes")
+    if raw_nodes is None:
+        workers = int(spec.get("workers", default_workers))
+        if workers < 1:
+            raise JobSpecError(f"workers must be >= 1, got {workers}")
+        raw_nodes = [{"name": f"n{i}", "speed": 100.0}
+                     for i in range(workers)]
+    nodes = []
+    for i, doc in enumerate(raw_nodes):
+        if not isinstance(doc, dict) or "speed" not in doc:
+            raise JobSpecError(
+                f"node {i} must be an object with at least a 'speed'"
+            )
+        node_kwargs: dict[str, Any] = {
+            "name": str(doc.get("name", f"n{i}")),
+            "speed": float(doc["speed"]),
+        }
+        for field in ("latency", "bandwidth", "virtual_power",
+                      "fails_at"):
+            if doc.get(field) is not None:
+                node_kwargs[field] = float(doc[field])
+        if doc.get("segment") is not None:
+            node_kwargs["segment"] = str(doc["segment"])
+        nodes.append(NodeSpec(**node_kwargs))
+    try:
+        return ClusterSpec(nodes=nodes, **cluster_kwargs)
+    except Exception as exc:
+        raise JobSpecError(f"bad cluster spec: {exc}") from exc
+
+
+def job_from_spec(spec: dict) -> SimJob:
+    """Build the one-shot :class:`SimJob` a wire spec describes.
+
+    Raises :class:`JobSpecError` on anything malformed -- including an
+    unknown scheme name, checked against the registry here so the
+    daemon rejects at admission instead of failing deep inside a pool
+    worker.
+    """
+    if not isinstance(spec, dict):
+        raise JobSpecError(
+            f"job spec must be an object, got {type(spec).__name__}"
+        )
+    scheme = spec.get("scheme")
+    if not isinstance(scheme, str) or not scheme:
+        raise JobSpecError("job spec needs a 'scheme' string")
+    from ..core import registry
+    from ..core.base import SchemeError
+
+    try:
+        registry.parse(scheme)
+    except SchemeError as exc:
+        raise JobSpecError(str(exc)) from exc
+    engine = spec.get("engine", "master")
+    workload = workload_from_spec(spec.get("workload"))
+    cluster = cluster_from_spec(spec.get("cluster"))
+    params = dict(spec.get("params") or {})
+    if spec.get("chaos") is not None:
+        from ..chaos import FaultPlan
+
+        try:
+            plan = FaultPlan.from_json(spec["chaos"])
+        except Exception as exc:
+            raise JobSpecError(f"bad chaos plan: {exc}") from exc
+        scale = spec.get("chaos_scale")
+        if scale is not None:
+            plan = plan.scaled(float(scale))
+        params["chaos"] = plan
+    if spec.get("results"):
+        params["collect_results"] = True
+    try:
+        return SimJob(
+            scheme=scheme,
+            workload=workload,
+            cluster=cluster,
+            engine=str(engine),
+            params=params,
+            tag=str(spec.get("tag", "")),
+            collect_events=True,
+        )
+    except ValueError as exc:
+        raise JobSpecError(str(exc)) from exc

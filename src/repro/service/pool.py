@@ -1,0 +1,636 @@
+"""The service's shared worker pool: real processes, production rules.
+
+A :class:`WorkerPool` owns ``size`` long-lived OS worker processes
+shared by *every* tenant, and re-uses the hardening the one-shot
+runtime grew in earlier work (:mod:`repro.runtime`):
+
+* **heartbeats** -- each worker runs a daemon beat thread, so the pool
+  can tell "busy on a long chunk" from "dead" (the same contract as
+  :class:`repro.runtime.config.RuntimeConfig`'s
+  ``heartbeat_interval`` / ``worker_deadline`` pair, and configured by
+  the same object);
+* **death detection** -- the pump waits on worker pipes *and* process
+  sentinels, so a SIGKILL is noticed immediately and a silent hang at
+  the liveness deadline;
+* **incarnation guards** -- each (re)spawn of a worker slot gets a new
+  incarnation number; a job's result is only accepted from the
+  incarnation the job is currently assigned to, and a dead worker's
+  pipe is closed before its job is requeued, so re-execution is
+  *exactly-once* (the audit in :func:`repro.verify.audit_service_log`
+  proves it from the pool's ledger);
+* **fair dispatch** -- pending jobs live in per-tenant FIFO queues
+  served round-robin, so one chatty tenant cannot starve the rest;
+* **bounded requeues** -- a job that keeps killing workers fails with
+  ``too-many-requeues`` instead of crash-looping the pool.
+
+The pool is transport-agnostic: the asyncio daemon drives it through
+:meth:`submit` and a completion callback, and the unit tests drive it
+directly with plain threads.  Every state transition lands in
+:attr:`WorkerPool.log`, the service ledger.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+from collections import deque
+from multiprocessing.connection import wait as mp_wait
+from typing import Any, Callable, Optional
+
+from ..batch import SimJob
+from ..obs import BufferedCollector, stream_digest
+from ..obs.logutil import get_logger
+from ..runtime.config import RuntimeConfig
+
+__all__ = ["JobRecord", "WorkerPool", "service_worker_main"]
+
+_log = get_logger("service.pool")
+
+#: Jobs are abandoned after this many death-triggered re-executions.
+DEFAULT_MAX_REQUEUES = 3
+
+
+def _execute_payload(job, want_results: bool, want_trace: bool) -> dict:
+    """Run one job in the current process; JSON-safe result payload.
+
+    The digest is computed *here*, from the same
+    :func:`~repro.obs.stream_digest` a one-shot caller would apply to
+    ``job.run().obs_events`` -- that equality is the service's
+    bit-exactness contract.
+    """
+    try:
+        result = job.run()
+    except BaseException as exc:  # noqa: BLE001 - ferried to the client
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+    events = getattr(result, "obs_events", None) or []
+    doc: dict[str, Any] = {
+        "ok": True,
+        "digest": stream_digest(events),
+        "events_emitted": len(events),
+    }
+    if hasattr(result, "to_dict"):
+        doc["result"] = result.to_dict(
+            include_results=bool(
+                want_results and getattr(result, "results", None)
+                is not None
+            )
+        )
+    else:  # runtime RunResult: summarize the dataclass by hand
+        doc["result"] = {
+            "scheme": result.scheme,
+            "elapsed": result.elapsed,
+            "chunks": len(result.chunks),
+            "requeued": result.requeued,
+        }
+        if want_results and result.results is not None:
+            doc["result"]["results"] = [
+                float(x) for x in result.results.ravel()
+            ]
+    if want_trace:
+        doc["trace"] = [ev.to_dict() for ev in events]
+    return doc
+
+
+def service_worker_main(
+    conn,
+    worker_id: int,
+    heartbeat_interval: Optional[float],
+) -> None:
+    """Pool worker process target: loop jobs until ``stop`` or EOF.
+
+    A daemon beat thread shares the pipe under a lock, so liveness
+    survives arbitrarily long jobs (the same trick as
+    :func:`repro.runtime.worker.worker_main`).
+    """
+    send_lock = threading.Lock()
+    stop_beat = threading.Event()
+
+    def _send(msg) -> None:
+        with send_lock:
+            conn.send(msg)
+
+    if heartbeat_interval:
+        def _beat() -> None:
+            while not stop_beat.wait(heartbeat_interval):
+                try:
+                    _send(("hb", worker_id))
+                except (OSError, ValueError, BrokenPipeError):
+                    return
+
+        threading.Thread(target=_beat, daemon=True).start()
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return  # daemon went away: die quietly
+            if msg[0] == "stop":
+                return
+            _op, job_id, job, want_results, want_trace = msg
+            payload = _execute_payload(job, want_results, want_trace)
+            try:
+                _send(("done", job_id, payload))
+            except (OSError, ValueError, BrokenPipeError):
+                return
+    finally:
+        stop_beat.set()
+
+
+@dataclasses.dataclass
+class JobRecord(object):
+    """One admitted job's full lifecycle inside the service."""
+
+    job_id: str
+    tenant: str
+    job: SimJob
+    want_results: bool = False
+    want_trace: bool = False
+    state: str = "queued"  # queued | running | done | failed
+    worker: int = -1
+    incarnation: int = -1
+    requeues: int = 0
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    payload: Optional[dict] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed")
+
+
+class _Handle(object):
+    """One worker slot: the live process behind it may be reincarnated."""
+
+    __slots__ = ("slot", "proc", "conn", "incarnation", "last_seen",
+                 "record")
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.proc = None
+        self.conn = None
+        self.incarnation = -1
+        self.last_seen = 0.0
+        self.record: Optional[JobRecord] = None
+
+
+class WorkerPool(object):
+    """Shared multi-tenant execution pool (see module doc).
+
+    ``on_complete(record)`` fires from the pump thread whenever a job
+    reaches a terminal state; the daemon bridges it onto its event
+    loop, the tests satisfy it with a plain callback.
+    ``on_idle()`` fires whenever the pool transitions to fully idle
+    (nothing queued, nothing running) -- the drain hook.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        config: Optional[RuntimeConfig] = None,
+        on_complete: Optional[Callable[[JobRecord], None]] = None,
+        on_idle: Optional[Callable[[], None]] = None,
+        max_requeues: int = DEFAULT_MAX_REQUEUES,
+        mp_context: str = "fork",
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.size = int(size)
+        self.config = config or RuntimeConfig(
+            poll_timeout=0.25,
+            worker_deadline=30.0,
+            heartbeat_interval=0.5,
+            join_timeout=5.0,
+        )
+        self.on_complete = on_complete or (lambda record: None)
+        self.on_idle = on_idle or (lambda: None)
+        self.max_requeues = int(max_requeues)
+        self._ctx = mp.get_context(mp_context)
+        self._handles: list[_Handle] = [
+            _Handle(slot) for slot in range(self.size)
+        ]
+        self._queues: dict[str, deque[JobRecord]] = {}
+        self._rr: deque[str] = deque()
+        self._records: dict[str, JobRecord] = {}
+        self._lock = threading.Lock()
+        self._wake_r, self._wake_w = os.pipe()
+        self._pump: Optional[threading.Thread] = None
+        self._running = False
+        self._t0 = time.monotonic()
+        #: The service ledger: every submit/assign/result/death/requeue,
+        #: consumed by :func:`repro.verify.audit_service_log`.
+        self.log: list[dict] = []
+        #: Per-tenant job-level ObsEvents (source ``service``).
+        self.obs = BufferedCollector()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        if self._running:
+            return self
+        self._running = True
+        self._t0 = time.monotonic()
+        for handle in self._handles:
+            self._spawn(handle)
+        self._pump = threading.Thread(
+            target=self._pump_loop, name="service-pool-pump", daemon=True
+        )
+        self._pump.start()
+        return self
+
+    def stop(self) -> None:
+        """Tear the pool down (jobs still queued are left unfinished)."""
+        if not self._running:
+            return
+        self._running = False
+        self._wake()
+        if self._pump is not None:
+            self._pump.join(timeout=self.config.join_timeout)
+        for handle in self._handles:
+            conn, proc = handle.conn, handle.proc
+            if conn is not None:
+                try:
+                    conn.send(("stop",))
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+                conn.close()
+                handle.conn = None
+            if proc is not None and proc.is_alive():
+                proc.join(timeout=self.config.join_timeout)
+                if proc.is_alive():  # pragma: no cover - hang guard
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+        os.close(self._wake_r)
+        os.close(self._wake_w)
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- submission and state ----------------------------------------------
+
+    def submit(self, record: JobRecord) -> None:
+        """Enqueue an admitted job (admission control is the server's)."""
+        record.submitted_at = self.now()
+        with self._lock:
+            queue = self._queues.get(record.tenant)
+            if queue is None:
+                queue = self._queues[record.tenant] = deque()
+                self._rr.append(record.tenant)
+            queue.append(record)
+            self._records[record.job_id] = record
+            self._append_log_locked(
+                "submit", record, worker=None, incarnation=None
+            )
+        self._wake()
+
+    def record(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def now(self) -> float:
+        """Seconds since the pool started (the service clock)."""
+        return time.monotonic() - self._t0
+
+    def stats(self) -> dict:
+        with self._lock:
+            queued = {t: len(q) for t, q in self._queues.items() if q}
+            inflight = sum(
+                1 for h in self._handles if h.record is not None
+            )
+            return {
+                "queued": sum(queued.values()),
+                "queued_by_tenant": queued,
+                "inflight": inflight,
+                "workers": self.size,
+                "workers_live": sum(
+                    1
+                    for h in self._handles
+                    if h.proc is not None and h.proc.is_alive()
+                ),
+            }
+
+    def queued_for(self, tenant: str) -> int:
+        with self._lock:
+            queue = self._queues.get(tenant)
+            return len(queue) if queue else 0
+
+    def pending_total(self) -> int:
+        """Jobs admitted but not terminal (queued + running)."""
+        with self._lock:
+            return sum(len(q) for q in self._queues.values()) + sum(
+                1 for h in self._handles if h.record is not None
+            )
+
+    def idle(self) -> bool:
+        return self.pending_total() == 0
+
+    # -- chaos hooks ---------------------------------------------------------
+
+    def kill_worker(self, slot: int) -> bool:
+        """SIGKILL one worker slot's current incarnation (chaos hook).
+
+        Returns False when the slot has no live process right now.  The
+        pump notices the death through the process sentinel, requeues
+        the victim's job, and respawns the slot.
+        """
+        if not 0 <= slot < self.size:
+            raise ValueError(
+                f"worker slot must be in [0, {self.size}), got {slot}"
+            )
+        handle = self._handles[slot]
+        proc = handle.proc
+        if proc is None or not proc.is_alive() or proc.pid is None:
+            return False
+        os.kill(proc.pid, signal.SIGKILL)
+        return True
+
+    def worker_pids(self) -> list[Optional[int]]:
+        return [
+            h.proc.pid if h.proc is not None else None
+            for h in self._handles
+        ]
+
+    def busy_slots(self) -> dict[int, str]:
+        """``{slot: job_id}`` for slots currently executing a job."""
+        with self._lock:
+            return {
+                h.slot: h.record.job_id
+                for h in self._handles
+                if h.record is not None
+            }
+
+    # -- internals -----------------------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:  # pragma: no cover - closed during stop
+            pass
+
+    def _append_log_locked(
+        self,
+        ev: str,
+        record: JobRecord,
+        worker: Optional[int],
+        incarnation: Optional[int],
+        **extra,
+    ) -> None:
+        entry = {
+            "ev": ev,
+            "job": record.job_id,
+            "tenant": record.tenant,
+            "at": self.now(),
+        }
+        if worker is not None:
+            entry["worker"] = worker
+        if incarnation is not None:
+            entry["incarnation"] = incarnation
+        entry.update(extra)
+        self.log.append(entry)
+
+    def _spawn(self, handle: _Handle) -> None:
+        parent, child = self._ctx.Pipe()
+        handle.incarnation += 1
+        proc = self._ctx.Process(
+            target=service_worker_main,
+            args=(child, handle.slot),
+            kwargs={
+                "heartbeat_interval": self.config.heartbeat_interval,
+            },
+            # Non-daemonic: a pool worker may itself spawn processes
+            # (engine="runtime" jobs run the real multiprocessing
+            # runtime inside the slot).
+            daemon=False,
+            name=f"repro-service-w{handle.slot}.{handle.incarnation}",
+        )
+        proc.start()
+        child.close()
+        handle.proc = proc
+        handle.conn = parent
+        handle.last_seen = time.monotonic()
+        _log.info(
+            "spawned worker slot=%d incarnation=%d pid=%s",
+            handle.slot, handle.incarnation, proc.pid,
+        )
+
+    def _pump_loop(self) -> None:
+        while self._running:
+            waitables: list = [self._wake_r]
+            by_conn = {}
+            by_sentinel = {}
+            for handle in self._handles:
+                if handle.conn is not None:
+                    waitables.append(handle.conn)
+                    by_conn[handle.conn] = handle
+                if handle.proc is not None:
+                    waitables.append(handle.proc.sentinel)
+                    by_sentinel[handle.proc.sentinel] = handle
+            ready = mp_wait(waitables, timeout=self.config.poll_timeout)
+            if not self._running:
+                return
+            dead: list[_Handle] = []
+            for obj in ready:
+                if obj == self._wake_r:
+                    try:
+                        os.read(self._wake_r, 4096)
+                    except OSError:  # pragma: no cover
+                        pass
+                    continue
+                handle = by_conn.get(obj)
+                if handle is not None:
+                    if not self._drain_conn(handle):
+                        dead.append(handle)
+                    continue
+                handle = by_sentinel.get(obj)
+                if handle is not None and not handle.proc.is_alive():
+                    dead.append(handle)
+            now = time.monotonic()
+            deadline = self.config.worker_deadline
+            for handle in self._handles:
+                if handle in dead or handle.proc is None:
+                    continue
+                if not handle.proc.is_alive():
+                    dead.append(handle)
+                elif deadline is not None \
+                        and now - handle.last_seen > deadline:
+                    # Silent past the liveness deadline: treat as dead.
+                    # SIGKILL first so a wedged-but-alive incarnation
+                    # can never deliver a stale result later.
+                    if handle.proc.pid is not None:
+                        try:
+                            os.kill(handle.proc.pid, signal.SIGKILL)
+                        except ProcessLookupError:  # pragma: no cover
+                            pass
+                    dead.append(handle)
+            for handle in {id(h): h for h in dead}.values():
+                self._revive(handle)
+            self._dispatch()
+            if self.idle():
+                self.on_idle()
+
+    def _drain_conn(self, handle: _Handle) -> bool:
+        """Pull every pending message; False when the pipe is dead."""
+        while True:
+            try:
+                if not handle.conn.poll(0):
+                    return True
+                msg = handle.conn.recv()
+            except (EOFError, OSError):
+                return False
+            handle.last_seen = time.monotonic()
+            if msg[0] == "hb":
+                continue
+            if msg[0] == "done":
+                self._handle_done(handle, msg[1], msg[2])
+
+    def _handle_done(
+        self, handle: _Handle, job_id: str, payload: dict
+    ) -> None:
+        with self._lock:
+            record = handle.record
+            if record is None or record.job_id != job_id \
+                    or record.incarnation != handle.incarnation:
+                # Incarnation guard: a delivery the ledger no longer
+                # expects (job already requeued elsewhere) is dropped,
+                # never double-counted.
+                stale = self._records.get(job_id)
+                if stale is not None:
+                    self._append_log_locked(
+                        "stale-result", stale,
+                        worker=handle.slot,
+                        incarnation=handle.incarnation,
+                    )
+                _log.warning(
+                    "dropped stale result for job %s from slot %d",
+                    job_id, handle.slot,
+                )
+                return
+            handle.record = None
+            record.finished_at = self.now()
+            record.payload = payload
+            record.state = "done" if payload.get("ok") else "failed"
+            self._append_log_locked(
+                "result" if payload.get("ok") else "error",
+                record,
+                worker=handle.slot,
+                incarnation=handle.incarnation,
+            )
+        self.on_complete(record)
+
+    def _revive(self, handle: _Handle) -> None:
+        """A worker incarnation died: requeue its job, respawn the slot."""
+        if handle.conn is not None:
+            handle.conn.close()
+            handle.conn = None
+        if handle.proc is not None:
+            handle.proc.join(timeout=1.0)
+        victim: Optional[JobRecord] = None
+        with self._lock:
+            record = handle.record
+            handle.record = None
+            if record is not None:
+                self._append_log_locked(
+                    "worker-death", record,
+                    worker=handle.slot, incarnation=handle.incarnation,
+                )
+                record.requeues += 1
+                if record.requeues > self.max_requeues:
+                    record.state = "failed"
+                    record.finished_at = self.now()
+                    record.payload = {
+                        "ok": False,
+                        "error": (
+                            f"too-many-requeues: job killed "
+                            f"{record.requeues} worker incarnations"
+                        ),
+                    }
+                    self._append_log_locked(
+                        "error", record,
+                        worker=handle.slot, incarnation=handle.incarnation,
+                    )
+                    victim = record
+                else:
+                    record.state = "queued"
+                    record.worker = -1
+                    record.incarnation = -1
+                    self._append_log_locked(
+                        "requeue", record,
+                        worker=handle.slot, incarnation=handle.incarnation,
+                    )
+                    # Head of its tenant's queue: a faulted job keeps
+                    # its place in line (FIFO requeue, like the
+                    # runtime master's interval requeue).
+                    self._queues.setdefault(
+                        record.tenant, deque()
+                    ).appendleft(record)
+                    if record.tenant not in self._rr:
+                        self._rr.append(record.tenant)
+        _log.warning(
+            "worker slot=%d incarnation=%d died%s",
+            handle.slot, handle.incarnation,
+            "" if victim is None and handle.record is None
+            else " (job requeued or failed)",
+        )
+        if victim is not None:
+            self.on_complete(victim)
+        if self._running:
+            self._spawn(handle)
+
+    def _dispatch(self) -> None:
+        """Hand queued jobs to idle workers, round-robin over tenants."""
+        while True:
+            idle = next(
+                (
+                    h for h in self._handles
+                    if h.record is None and h.conn is not None
+                    and h.proc is not None and h.proc.is_alive()
+                ),
+                None,
+            )
+            if idle is None:
+                return
+            with self._lock:
+                record = self._next_record_locked()
+                if record is None:
+                    return
+                record.state = "running"
+                record.worker = idle.slot
+                record.incarnation = idle.incarnation
+                record.started_at = self.now()
+                idle.record = record
+                self._append_log_locked(
+                    "assign", record,
+                    worker=idle.slot, incarnation=idle.incarnation,
+                )
+            try:
+                idle.conn.send((
+                    "job",
+                    record.job_id,
+                    record.job,
+                    record.want_results,
+                    record.want_trace,
+                ))
+            except (OSError, ValueError, BrokenPipeError):
+                # The slot died between the liveness check and the
+                # send; the next pump iteration revives it and
+                # requeues the record.
+                idle.last_seen = 0.0
+
+    def _next_record_locked(self) -> Optional[JobRecord]:
+        for _ in range(len(self._rr)):
+            tenant = self._rr[0]
+            self._rr.rotate(-1)
+            queue = self._queues.get(tenant)
+            if queue:
+                return queue.popleft()
+        return None

@@ -1,0 +1,200 @@
+"""Length-prefixed JSON frames: the service's socket transport.
+
+Every message between a client and the daemon is one *frame*: a 4-byte
+big-endian unsigned length followed by that many bytes of UTF-8 JSON
+(an object at the top level).  Compared to the raw pickled pipes the
+in-process runtimes use, frames are:
+
+* **language-neutral** -- any client that can speak JSON over a socket
+  can submit jobs;
+* **safe** -- no pickle across trust boundaries, and a hard
+  :data:`MAX_FRAME` cap so a malformed length prefix cannot make the
+  daemon allocate gigabytes;
+* **stream-friendly** -- the :class:`FrameDecoder` is incremental, so
+  a reader can feed it whatever chunk sizes the socket yields.
+
+Four entry points cover both IO styles: :func:`send_frame` /
+:func:`recv_frame` for blocking sockets (the client library),
+:func:`write_frame` / :func:`read_frame` for asyncio streams (the
+daemon).  All four speak the identical wire format.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Optional
+
+__all__ = [
+    "MAX_FRAME",
+    "ProtocolError",
+    "encode_frame",
+    "FrameDecoder",
+    "send_frame",
+    "recv_frame",
+    "write_frame",
+    "read_frame",
+]
+
+#: Hard upper bound on one frame's JSON payload (bytes).  Large enough
+#: for a result carrying a full obs trace, small enough that a bogus
+#: length prefix cannot balloon the daemon's memory.
+MAX_FRAME = 32 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire format (length, encoding, or shape)."""
+
+
+def encode_frame(doc: dict[str, Any]) -> bytes:
+    """Serialize one message: 4-byte length prefix + compact JSON."""
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            f"frames carry JSON objects, got {type(doc).__name__}"
+        )
+    payload = json.dumps(
+        doc, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME "
+            f"({MAX_FRAME})"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> dict[str, Any]:
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got "
+            f"{type(doc).__name__}"
+        )
+    return doc
+
+
+class FrameDecoder(object):
+    """Incremental decoder: feed byte chunks, collect whole frames.
+
+    The decoder never copies more than one frame's worth of buffered
+    bytes and raises :class:`ProtocolError` as soon as a length prefix
+    exceeds :data:`MAX_FRAME`, before any payload is buffered.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Absorb ``data``; return every frame completed by it."""
+        self._buf.extend(data)
+        frames: list[dict[str, Any]] = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                return frames
+            (length,) = _LEN.unpack_from(self._buf)
+            if length > MAX_FRAME:
+                raise ProtocolError(
+                    f"announced frame length {length} exceeds MAX_FRAME "
+                    f"({MAX_FRAME})"
+                )
+            end = _LEN.size + length
+            if len(self._buf) < end:
+                return frames
+            payload = bytes(self._buf[_LEN.size:end])
+            del self._buf[:end]
+            frames.append(_decode_payload(payload))
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward the next (incomplete) frame."""
+        return len(self._buf)
+
+
+# -- blocking-socket side (client library) --------------------------------
+
+
+def send_frame(sock: socket.socket, doc: dict[str, Any]) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(doc))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    chunks = bytearray()
+    while len(chunks) < n:
+        part = sock.recv(n - len(chunks))
+        if not part:
+            if chunks:
+                raise ProtocolError(
+                    f"connection closed mid-frame ({len(chunks)}/{n} "
+                    f"bytes)"
+                )
+            return None
+        chunks.extend(part)
+    return bytes(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict[str, Any]]:
+    """Read one frame from a blocking socket.
+
+    Returns ``None`` on a clean EOF (peer closed between frames);
+    raises :class:`ProtocolError` on a torn frame or oversized length.
+    """
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"announced frame length {length} exceeds MAX_FRAME "
+            f"({MAX_FRAME})"
+        )
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:
+        raise ProtocolError("connection closed between header and payload")
+    return _decode_payload(payload)
+
+
+# -- asyncio side (daemon) ------------------------------------------------
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, doc: dict[str, Any]
+) -> None:
+    """Write one frame to an asyncio stream and drain."""
+    writer.write(encode_frame(doc))
+    await writer.drain()
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[dict[str, Any]]:
+    """Read one frame from an asyncio stream (``None`` on clean EOF)."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)} bytes)"
+        ) from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"announced frame length {length} exceeds MAX_FRAME "
+            f"({MAX_FRAME})"
+        )
+    try:
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} "
+            f"bytes)"
+        ) from exc
+    return _decode_payload(payload)

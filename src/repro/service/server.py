@@ -1,0 +1,570 @@
+"""The asyncio scheduling daemon: many tenants, one shared pool.
+
+:class:`ServiceServer` listens on a Unix-domain socket (or TCP), speaks
+the :mod:`repro.service.protocol` frame format, and multiplexes every
+tenant's loop jobs over one shared :class:`~repro.service.pool.
+WorkerPool`.  The production concerns, in the order a job meets them:
+
+* **admission control** -- an admitted-but-unfinished job count is
+  bounded by ``queue_capacity`` globally and ``tenant_capacity`` per
+  tenant.  Past either bound a submit is *rejected* with a reasoned
+  backpressure reply (``queue-full`` / ``tenant-quota``) -- the queue
+  never grows without bound, so memory stays bounded no matter how
+  hard a client hammers the socket;
+* **warm cache sharing** -- each admitted job's workload cost profile
+  is resolved once in the daemon (through the process-wide
+  :mod:`repro.cache`, off the event loop), so the first tenant pays
+  for a profile and every later tenant -- and every pool worker --
+  gets it for free;
+* **fair dispatch** -- per-tenant FIFO queues served round-robin
+  (see :mod:`repro.service.pool`);
+* **exactly-once execution** -- heartbeat/deadline death detection
+  plus incarnation guards, audited from the ledger by
+  :func:`repro.verify.audit_service_log`;
+* **graceful drain** -- SIGTERM (or the ``drain`` op) stops admission
+  (rejects carry ``draining``), lets everything already admitted
+  finish, answers the waiting clients, then shuts the listener down;
+* **observability** -- every job lifecycle lands in per-tenant
+  job-level :class:`~repro.obs.ObsEvent` streams (kinds
+  ``job-submit`` / ``job-assign`` / ``job-result`` / ``job-reject``,
+  source ``service``) and in a :class:`~repro.obs.MetricsRegistry`
+  served by the ``metrics`` op -- the ``/metrics`` snapshot.
+
+Protocol ops (every request may carry a ``seq`` echoed in the reply):
+``hello``, ``submit``, ``wait``, ``status``, ``metrics``, ``trace``,
+``log``, ``drain``, ``chaos``, ``kill-worker``, ``ping``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import signal as _signal
+from typing import Any, Optional
+
+from .. import cache as _cache
+from ..obs import BufferedCollector, MetricsRegistry, ObsEvent
+from ..obs.logutil import get_logger
+from ..runtime.config import RuntimeConfig
+from .jobs import JobSpecError, job_from_spec
+from .pool import JobRecord, WorkerPool
+from .protocol import ProtocolError, read_frame, write_frame
+
+__all__ = ["ServiceConfig", "ServiceServer", "serve_until_complete"]
+
+_log = get_logger("service.server")
+
+#: Event source tag for job-level lifecycle events.
+_SRC = "service"
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig(object):
+    """Daemon knobs: transport, pool shape, and admission bounds.
+
+    Exactly one transport is used: ``socket_path`` (Unix socket, the
+    default) unless ``host`` is set (TCP).  ``runtime`` reuses the
+    runtime's validated timing knobs for the pool's heartbeat /
+    deadline machinery; service defaults are snappier than the
+    one-shot runtime's because a daemon restart is cheap and a wedged
+    slot stalls every tenant.
+    """
+
+    socket_path: Optional[str] = None
+    host: Optional[str] = None
+    port: int = 0
+    workers: int = 2
+    queue_capacity: int = 64
+    tenant_capacity: int = 16
+    max_requeues: int = 3
+    cache_dir: Optional[str] = None
+    runtime: RuntimeConfig = dataclasses.field(
+        default_factory=lambda: RuntimeConfig(
+            poll_timeout=0.1,
+            worker_deadline=30.0,
+            heartbeat_interval=0.5,
+            join_timeout=5.0,
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.socket_path is None and self.host is None:
+            raise ValueError(
+                "ServiceConfig needs a socket_path (Unix) or host (TCP)"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.tenant_capacity < 1:
+            raise ValueError(
+                f"tenant_capacity must be >= 1, got "
+                f"{self.tenant_capacity}"
+            )
+
+
+class ServiceServer(object):
+    """One running daemon (see module doc).  Drive via :meth:`serve`,
+    or :meth:`start` / :meth:`shutdown` from an existing event loop."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.pool = WorkerPool(
+            size=config.workers,
+            config=config.runtime,
+            on_complete=self._on_complete_threadsafe,
+            on_idle=self._on_idle_threadsafe,
+            max_requeues=config.max_requeues,
+        )
+        self.metrics = MetricsRegistry()
+        #: Per-tenant job-level event streams (plus ``pool.obs`` holds
+        #: nothing server-side; the merged view is :meth:`events_for`).
+        self.tenant_obs: dict[str, BufferedCollector] = {}
+        self._records: dict[str, JobRecord] = {}
+        self._futures: dict[str, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._resolving = 0
+        self._tenant_pending: dict[str, int] = {}
+        self.draining = False
+        self._drained = asyncio.Event()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._chaos_tasks: list[asyncio.Task] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start the pool."""
+        self._loop = asyncio.get_running_loop()
+        if self.config.cache_dir is not None:
+            _cache.configure(directory=self.config.cache_dir)
+        self.pool.start()
+        if self.config.host is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host,
+                self.config.port,
+            )
+        else:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.socket_path
+            )
+        _log.info(
+            "repro-service listening on %s (%d workers, capacity %d)",
+            self.address, self.config.workers,
+            self.config.queue_capacity,
+        )
+
+    @property
+    def address(self) -> str:
+        if self.config.host is not None:
+            socks = self._server.sockets if self._server else []
+            if socks:
+                host, port = socks[0].getsockname()[:2]
+                return f"{host}:{port}"
+            return f"{self.config.host}:{self.config.port}"
+        return str(self.config.socket_path)
+
+    @property
+    def port(self) -> Optional[int]:
+        """Bound TCP port (None on Unix sockets); useful with port=0."""
+        if self.config.host is None or not self._server:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve(self, install_signals: bool = True) -> None:
+        """Run until drained (SIGTERM or the ``drain`` op)."""
+        await self.start()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (_signal.SIGTERM, _signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self.initiate_drain)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-main thread or exotic loop
+        await self._drained.wait()
+        await self.shutdown()
+
+    def initiate_drain(self) -> None:
+        """Stop admitting; finish everything admitted; then exit."""
+        if self.draining:
+            return
+        self.draining = True
+        _log.info("drain initiated: admission closed")
+        self._check_drained()
+
+    async def shutdown(self) -> None:
+        """Close the listener and stop the pool (hard stop)."""
+        for task in self._chaos_tasks:
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.pool.stop()
+
+    # -- pool -> loop bridges ----------------------------------------------
+
+    def _on_complete_threadsafe(self, record: JobRecord) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._on_complete, record)
+
+    def _on_idle_threadsafe(self) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._check_drained)
+
+    def _on_complete(self, record: JobRecord) -> None:
+        self._tenant_pending[record.tenant] = max(
+            0, self._tenant_pending.get(record.tenant, 1) - 1
+        )
+        ok = record.state == "done"
+        self.metrics.counter(
+            "jobs_completed_total" if ok else "jobs_failed_total"
+        ).inc()
+        self.metrics.counter(f"tenant:{record.tenant}:completed").inc()
+        if record.requeues:
+            self.metrics.counter("jobs_requeued_total").inc(
+                record.requeues
+            )
+        if record.started_at is not None:
+            self.metrics.histogram("queue_wait_seconds").observe(
+                record.started_at - record.submitted_at
+            )
+        if record.started_at is not None \
+                and record.finished_at is not None:
+            self.metrics.histogram("run_seconds").observe(
+                record.finished_at - record.started_at
+            )
+        self._emit(
+            record.tenant,
+            ObsEvent(
+                kind="job-result" if ok else "job-reject",
+                source=_SRC,
+                t=record.finished_at or self.pool.now(),
+                worker=record.worker,
+                value=(
+                    record.finished_at - record.started_at
+                    if record.started_at is not None
+                    and record.finished_at is not None
+                    else None
+                ),
+                detail=f"tenant={record.tenant} job={record.job_id}"
+                + ("" if ok else " failed"),
+            ),
+        )
+        future = self._futures.pop(record.job_id, None)
+        if future is not None and not future.done():
+            future.set_result(record)
+        self._check_drained()
+
+    def _check_drained(self) -> None:
+        if self.draining and self._resolving == 0 and self.pool.idle():
+            self._drained.set()
+
+    def _emit(self, tenant: str, event: ObsEvent) -> None:
+        bucket = self.tenant_obs.get(tenant)
+        if bucket is None:
+            bucket = self.tenant_obs[tenant] = BufferedCollector()
+        bucket.emit(event)
+
+    def events_for(self, tenant: Optional[str] = None) -> list[ObsEvent]:
+        """One tenant's job-level stream, or every tenant's merged."""
+        if tenant is not None:
+            bucket = self.tenant_obs.get(tenant)
+            return list(bucket.events) if bucket is not None else []
+        merged: list[ObsEvent] = []
+        for name in sorted(self.tenant_obs):
+            merged.extend(self.tenant_obs[name].events)
+        merged.sort(key=lambda ev: ev.t)
+        return merged
+
+    # -- admission ----------------------------------------------------------
+
+    def _admission_error(self, tenant: str) -> Optional[str]:
+        if self.draining:
+            return "draining"
+        pending = self.pool.pending_total() + self._resolving
+        if pending >= self.config.queue_capacity:
+            return "queue-full"
+        if self._tenant_pending.get(tenant, 0) \
+                >= self.config.tenant_capacity:
+            return "tenant-quota"
+        return None
+
+    def _reject(self, tenant: str, reason: str, seq) -> dict:
+        self.metrics.counter("jobs_rejected_total").inc()
+        self.metrics.counter(f"jobs_rejected_{reason}").inc()
+        self._emit(
+            tenant,
+            ObsEvent(
+                kind="job-reject",
+                source=_SRC,
+                t=self.pool.now(),
+                detail=f"tenant={tenant} {reason}",
+            ),
+        )
+        return _reply(seq, ok=False, error=reason)
+
+    async def _submit(self, tenant: str, doc: dict, seq) -> dict:
+        reason = self._admission_error(tenant)
+        if reason is not None:
+            return self._reject(tenant, reason, seq)
+        spec = doc.get("job")
+        try:
+            job = job_from_spec(spec)
+        except JobSpecError as exc:
+            self.metrics.counter("jobs_rejected_total").inc()
+            self.metrics.counter("jobs_rejected_bad-spec").inc()
+            return _reply(seq, ok=False, error="bad-spec",
+                          message=str(exc))
+        job_id = f"{tenant}-{next(self._ids):06d}"
+        record = JobRecord(
+            job_id=job_id,
+            tenant=tenant,
+            job=job,
+            want_results=bool(spec.get("results")),
+            want_trace=bool(spec.get("trace")),
+        )
+        self._records[job_id] = record
+        self._futures[job_id] = asyncio.get_running_loop() \
+            .create_future()
+        self._tenant_pending[tenant] = (
+            self._tenant_pending.get(tenant, 0) + 1
+        )
+        self._resolving += 1
+        self.metrics.counter("jobs_submitted_total").inc()
+        self.metrics.counter(f"tenant:{tenant}:submitted").inc()
+        self._emit(
+            tenant,
+            ObsEvent(
+                kind="job-submit",
+                source=_SRC,
+                t=self.pool.now(),
+                detail=f"tenant={tenant} job={job_id} "
+                       f"scheme={job.scheme}",
+            ),
+        )
+        # Resolve the workload's cost profile off the loop, through
+        # the shared process-wide cache: the first tenant computes a
+        # profile, everyone after that hits memory or disk, and pool
+        # workers receive it precomputed inside the pickled workload.
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, record.job.workload.costs)
+        finally:
+            self._resolving -= 1
+        self._emit(
+            tenant,
+            ObsEvent(
+                kind="job-assign",
+                source=_SRC,
+                t=self.pool.now(),
+                detail=f"tenant={tenant} job={job_id}",
+            ),
+        )
+        self.pool.submit(record)
+        return _reply(seq, ok=True, job_id=job_id)
+
+    # -- query ops -----------------------------------------------------------
+
+    def _status(self) -> dict:
+        stats = self.pool.stats()
+        states: dict[str, int] = {}
+        for record in self._records.values():
+            states[record.state] = states.get(record.state, 0) + 1
+        active = _cache.get_cache()
+        return {
+            "draining": self.draining,
+            "pool": stats,
+            "jobs": states,
+            "resolving": self._resolving,
+            "capacity": {
+                "queue": self.config.queue_capacity,
+                "tenant": self.config.tenant_capacity,
+            },
+            "cache": {"hits": active.hits, "misses": active.misses},
+        }
+
+    def _metrics_snapshot(self) -> dict:
+        stats = self.pool.stats()
+        self.metrics.gauge("jobs_queued").set(stats["queued"])
+        self.metrics.gauge("jobs_inflight").set(stats["inflight"])
+        self.metrics.gauge("workers_live").set(stats["workers_live"])
+        self.metrics.gauge("tenants").set(len(self.tenant_obs))
+        active = _cache.get_cache()
+        self.metrics.gauge("cache_hits").set(active.hits)
+        self.metrics.gauge("cache_misses").set(active.misses)
+        deaths = sum(
+            1 for entry in self.pool.log if entry["ev"] == "worker-death"
+        )
+        self.metrics.counter("worker_deaths_total").value = float(deaths)
+        return self.metrics.snapshot()
+
+    # -- chaos ----------------------------------------------------------------
+
+    def inject_chaos(self, plan, time_scale: float = 1.0) -> int:
+        """Map a FaultPlan's worker deaths onto live pool slots.
+
+        Delegates to :func:`repro.chaos.inject_service_faults`;
+        returns the number of scheduled fault tasks.
+        """
+        from ..chaos import inject_service_faults
+
+        tasks = inject_service_faults(
+            self, plan, time_scale=time_scale
+        )
+        self._chaos_tasks.extend(tasks)
+        return len(tasks)
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        tenant = "default"
+        try:
+            while True:
+                try:
+                    doc = await read_frame(reader)
+                except ProtocolError as exc:
+                    await write_frame(
+                        writer,
+                        _reply(None, ok=False, error="protocol",
+                               message=str(exc)),
+                    )
+                    break
+                if doc is None:
+                    break
+                seq = doc.get("seq")
+                op = doc.get("op")
+                if op == "hello":
+                    raw = doc.get("tenant", "default")
+                    tenant = str(raw) if raw else "default"
+                    reply = _reply(
+                        seq, ok=True, server="repro-service",
+                        tenant=tenant, workers=self.config.workers,
+                    )
+                elif op == "submit":
+                    reply = await self._submit(tenant, doc, seq)
+                elif op == "wait":
+                    reply = await self._wait(tenant, doc, seq)
+                elif op == "status":
+                    reply = _reply(seq, ok=True, status=self._status())
+                elif op == "metrics":
+                    reply = _reply(
+                        seq, ok=True, metrics=self._metrics_snapshot()
+                    )
+                elif op == "trace":
+                    which = doc.get("tenant", tenant)
+                    events = self.events_for(
+                        None if which == "*" else str(which)
+                    )
+                    reply = _reply(
+                        seq, ok=True,
+                        events=[ev.to_dict() for ev in events],
+                    )
+                elif op == "log":
+                    reply = _reply(
+                        seq, ok=True, log=list(self.pool.log)
+                    )
+                elif op == "drain":
+                    self.initiate_drain()
+                    reply = _reply(seq, ok=True, draining=True)
+                elif op == "chaos":
+                    reply = self._chaos_op(doc, seq)
+                elif op == "kill-worker":
+                    try:
+                        hit = self.pool.kill_worker(
+                            int(doc.get("worker", -1))
+                        )
+                        reply = _reply(seq, ok=True, killed=hit)
+                    except ValueError as exc:
+                        reply = _reply(seq, ok=False, error="bad-worker",
+                                       message=str(exc))
+                elif op == "ping":
+                    reply = _reply(seq, ok=True, pong=True)
+                else:
+                    reply = _reply(seq, ok=False, error="unknown-op",
+                                   message=f"unknown op {op!r}")
+                await write_frame(writer, reply)
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _chaos_op(self, doc: dict, seq) -> dict:
+        from ..chaos import ChaosError, FaultPlan
+
+        try:
+            plan = FaultPlan.from_json(doc.get("plan") or {})
+        except (ChaosError, TypeError, KeyError, ValueError) as exc:
+            return _reply(seq, ok=False, error="bad-plan",
+                          message=str(exc))
+        count = self.inject_chaos(
+            plan, time_scale=float(doc.get("time_scale", 1.0))
+        )
+        return _reply(seq, ok=True, scheduled=count)
+
+    async def _wait(self, tenant: str, doc: dict, seq) -> dict:
+        job_id = doc.get("job_id")
+        record = self._records.get(job_id)
+        if record is None or record.tenant != tenant:
+            # Tenant isolation: another tenant's job ids are
+            # indistinguishable from nonexistent ones.
+            return _reply(seq, ok=False, error="unknown-job")
+        future = self._futures.get(job_id)
+        if future is not None and not record.terminal:
+            timeout = doc.get("timeout")
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(future),
+                    timeout=float(timeout) if timeout else None,
+                )
+            except asyncio.TimeoutError:
+                return _reply(
+                    seq, ok=False, error="timeout",
+                    state=record.state,
+                )
+        payload = dict(record.payload or {})
+        payload.update(
+            _reply(
+                seq,
+                ok=bool(payload.get("ok")),
+                job_id=job_id,
+                state=record.state,
+                requeues=record.requeues,
+            )
+        )
+        return payload
+
+
+def _reply(seq, **fields) -> dict[str, Any]:
+    doc = dict(fields)
+    if seq is not None:
+        doc["seq"] = seq
+    return doc
+
+
+async def _serve(config: ServiceConfig,
+                 install_signals: bool) -> ServiceServer:
+    server = ServiceServer(config)
+    await server.serve(install_signals=install_signals)
+    return server
+
+
+def serve_until_complete(
+    config: ServiceConfig, install_signals: bool = True
+) -> ServiceServer:
+    """Blocking entry point: run a daemon until it drains."""
+    return asyncio.run(_serve(config, install_signals))

@@ -53,6 +53,7 @@ __all__ = [
     "audit_adaptive",
     "audit_chunks",
     "audit_events",
+    "audit_service_log",
     "audit_sim",
     "audit_run",
     "replay_cut_points",
@@ -649,4 +650,133 @@ def audit_events(
         _check_conformance(
             spans, scheme, total, nworkers, report, **scheme_kwargs
         )
+    return report
+
+
+def audit_service_log(
+    log: Iterable[dict],
+    require_terminal: bool = True,
+    subject: str = "service-log",
+) -> AuditReport:
+    """Audit a service job ledger (:attr:`repro.service.WorkerPool.log`).
+
+    The ledger records every job state transition the shared pool made
+    (``submit`` / ``assign`` / ``requeue`` / ``worker-death`` /
+    ``stale-result`` / ``result`` / ``error``); this audit proves the
+    service's delivery contract from it:
+
+    * **exactly-once delivery** -- every submitted job has at most one
+      terminal entry (``result`` or ``error``), and exactly one when
+      ``require_terminal`` (the post-drain form); duplicated results
+      from stale incarnations must appear as ``stale-result``, never
+      as a second ``result``;
+    * **incarnation freshness** -- a terminal ``result`` carries the
+      worker slot *and* incarnation of that job's most recent
+      ``assign``: a result accepted from an incarnation the job was
+      not currently assigned to is a double-execution hazard;
+    * **requeue accounting** -- a terminal job was assigned exactly
+      ``requeues + 1`` times (every death-triggered requeue led to
+      exactly one fresh assignment);
+    * **tenant isolation** -- all entries for one job id carry one
+      tenant;
+    * **ordering** -- per job: ``submit`` first, every ``assign``
+      after it, and nothing after the terminal entry except
+      ``stale-result`` drops.
+    """
+    report = AuditReport(subject=subject)
+    entries = list(log)
+    by_job: dict[str, list[dict]] = {}
+    report.checks.append("ledger-shape")
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "ev" not in entry \
+                or "job" not in entry:
+            if len(report.violations) < 5:
+                report.violations.append(
+                    f"ledger entry {i} is not a job transition: "
+                    f"{entry!r}"
+                )
+            continue
+        by_job.setdefault(entry["job"], []).append(entry)
+    if report.violations:
+        return report
+
+    report.checks.append("exactly-once")
+    report.checks.append("incarnation-freshness")
+    report.checks.append("requeue-accounting")
+    report.checks.append("tenant-isolation")
+    report.checks.append("ordering")
+    for job_id, seq in by_job.items():
+        kinds = [e["ev"] for e in seq]
+        tenants = {e.get("tenant") for e in seq}
+        if len(tenants) > 1:
+            report.violations.append(
+                f"job {job_id} crosses tenants: {sorted(map(str, tenants))}"
+            )
+        if kinds.count("submit") != 1:
+            report.violations.append(
+                f"job {job_id} has {kinds.count('submit')} submit "
+                f"entries (want exactly 1)"
+            )
+        elif kinds[0] != "submit":
+            report.violations.append(
+                f"job {job_id} log starts with {kinds[0]!r}, not "
+                f"'submit'"
+            )
+        terminals = [e for e in seq if e["ev"] in ("result", "error")]
+        if len(terminals) > 1:
+            report.violations.append(
+                f"job {job_id} delivered {len(terminals)} terminal "
+                f"entries -- exactly-once violated"
+            )
+        elif not terminals and require_terminal:
+            report.violations.append(
+                f"job {job_id} never reached a terminal state"
+            )
+        if terminals:
+            term_idx = seq.index(terminals[0])
+            trailing = [
+                e["ev"] for e in seq[term_idx + 1:]
+                if e["ev"] != "stale-result"
+            ]
+            if trailing:
+                report.violations.append(
+                    f"job {job_id} has transitions after its terminal "
+                    f"entry: {trailing}"
+                )
+        assigns = [e for e in seq if e["ev"] == "assign"]
+        requeues = kinds.count("requeue")
+        if terminals:
+            term = terminals[0]
+            if term["ev"] == "result":
+                if not assigns:
+                    report.violations.append(
+                        f"job {job_id} has a result but was never "
+                        f"assigned"
+                    )
+                else:
+                    last = assigns[-1]
+                    if (term.get("worker"), term.get("incarnation")) != (
+                        last.get("worker"), last.get("incarnation")
+                    ):
+                        report.violations.append(
+                            f"job {job_id} result came from "
+                            f"worker={term.get('worker')} "
+                            f"inc={term.get('incarnation')} but was "
+                            f"assigned to worker={last.get('worker')} "
+                            f"inc={last.get('incarnation')} -- stale "
+                            f"incarnation accepted"
+                        )
+            if assigns and len(assigns) != requeues + 1:
+                report.violations.append(
+                    f"job {job_id} was assigned {len(assigns)} times "
+                    f"for {requeues} requeue(s) (want requeues + 1)"
+                )
+        for e in seq:
+            if e["ev"] == "worker-death" and "requeue" not in kinds \
+                    and not terminals:
+                report.violations.append(
+                    f"job {job_id} lost its worker but was neither "
+                    f"requeued nor failed"
+                )
+                break
     return report

@@ -25,7 +25,7 @@ def test_every_substrate_has_a_source_tag():
     assert {
         "sim.master", "sim.tree", "sim.decentral",
         "runtime.master", "runtime.worker", "runtime.decentral",
-        "chaos",
+        "chaos", "service",
     } == SOURCES
 
 

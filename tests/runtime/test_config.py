@@ -66,6 +66,47 @@ class TestFromEnv:
         with pytest.raises(ValueError, match="REPRO_POLL_TIMEOUT"):
             RuntimeConfig.from_env()
 
+    @pytest.mark.parametrize("raw", ["-1", "0", "-0.5"])
+    def test_non_positive_poll_timeout_names_the_variable(
+        self, monkeypatch, raw
+    ):
+        # poll_timeout has no "disabled" reading, so a bad value must
+        # fail with the env var's name, not a bare constructor message.
+        monkeypatch.setenv("REPRO_POLL_TIMEOUT", raw)
+        with pytest.raises(ValueError, match="REPRO_POLL_TIMEOUT"):
+            RuntimeConfig.from_env()
+
+    @pytest.mark.parametrize("raw", ["nan", "inf", "-inf", "NaN"])
+    def test_non_finite_env_rejected(self, monkeypatch, raw):
+        # float() accepts these, but inf would silently disable
+        # polling and nan would surface as a cryptic comparison error.
+        monkeypatch.setenv("REPRO_POLL_TIMEOUT", raw)
+        with pytest.raises(ValueError, match="finite"):
+            RuntimeConfig.from_env()
+
+    @pytest.mark.parametrize(
+        "raw", ["", "   ", None],
+    )
+    def test_blank_env_means_unset(self, monkeypatch, raw):
+        if raw is None:
+            monkeypatch.delenv("REPRO_POLL_TIMEOUT", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_POLL_TIMEOUT", raw)
+        assert RuntimeConfig.from_env().poll_timeout == 5.0
+
+    def test_garbage_deadline_names_its_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_DEADLINE", "2h")
+        with pytest.raises(ValueError, match="REPRO_WORKER_DEADLINE"):
+            RuntimeConfig.from_env()
+
+    def test_underscored_and_exponent_forms_parse(self, monkeypatch):
+        # float() niceties that operators actually use.
+        monkeypatch.setenv("REPRO_POLL_TIMEOUT", "2.5e-1")
+        monkeypatch.setenv("REPRO_JOIN_TIMEOUT", "1_0")
+        config = RuntimeConfig.from_env()
+        assert config.poll_timeout == 0.25
+        assert config.join_timeout == 10.0
+
 
 class _SilentConn(object):
     """A fake pipe whose worker never says anything (hung process)."""

@@ -1,0 +1,150 @@
+"""Wire job model: spec -> SimJob identity, validation, rejection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import SimJob
+from repro.obs import stream_digest
+from repro.service.jobs import (
+    JobSpecError,
+    cluster_from_spec,
+    job_from_spec,
+    workload_from_spec,
+)
+from repro.workloads import (
+    LinearWorkload,
+    MandelbrotWorkload,
+    UniformWorkload,
+)
+
+
+class TestWorkloadFromSpec:
+    def test_uniform(self):
+        wl = workload_from_spec(
+            {"kind": "uniform", "size": 50, "unit": 2.0}
+        )
+        assert isinstance(wl, UniformWorkload)
+        assert wl.size == 50
+        assert list(wl.costs()) == [2.0] * 50
+
+    def test_linear_decreasing(self):
+        wl = workload_from_spec(
+            {"kind": "linear", "size": 10, "increasing": False}
+        )
+        assert isinstance(wl, LinearWorkload)
+        costs = list(wl.costs())
+        assert costs == sorted(costs, reverse=True)
+
+    def test_trace_needs_costs(self):
+        with pytest.raises(JobSpecError, match="costs"):
+            workload_from_spec({"kind": "trace"})
+        wl = workload_from_spec({"kind": "trace", "costs": [1, 2, 3]})
+        assert wl.size == 3
+
+    def test_mandelbrot_with_reorder(self):
+        wl = workload_from_spec(
+            {"kind": "mandelbrot", "width": 64, "height": 32, "sf": 4}
+        )
+        assert wl.size == 64
+        assert isinstance(wl.inner, MandelbrotWorkload)
+        assert wl.sf == 4
+
+    def test_unknown_kind_lists_known(self):
+        with pytest.raises(JobSpecError, match="uniform"):
+            workload_from_spec({"kind": "fractal"})
+
+    def test_missing_size(self):
+        with pytest.raises(JobSpecError, match="size"):
+            workload_from_spec({"kind": "uniform"})
+
+    def test_non_object(self):
+        with pytest.raises(JobSpecError, match="object"):
+            workload_from_spec("uniform")
+
+
+class TestClusterFromSpec:
+    def test_default_is_homogeneous(self):
+        cluster = cluster_from_spec(None)
+        assert len(cluster.nodes) == 4
+        assert {n.speed for n in cluster.nodes} == {100.0}
+
+    def test_workers_shorthand(self):
+        assert len(cluster_from_spec({"workers": 7}).nodes) == 7
+        with pytest.raises(JobSpecError, match="workers"):
+            cluster_from_spec({"workers": 0})
+
+    def test_explicit_nodes(self):
+        cluster = cluster_from_spec({
+            "nodes": [
+                {"name": "fast", "speed": 300.0, "segment": "a"},
+                {"speed": 100.0, "fails_at": 2.5},
+            ],
+            "master_service": 1e-3,
+        })
+        assert cluster.nodes[0].name == "fast"
+        assert cluster.nodes[1].fails_at == 2.5
+        assert cluster.master_service == 1e-3
+
+    def test_node_without_speed_rejected(self):
+        with pytest.raises(JobSpecError, match="speed"):
+            cluster_from_spec({"nodes": [{"name": "x"}]})
+
+
+class TestJobFromSpec:
+    SPEC = {
+        "scheme": "TSS",
+        "workload": {"kind": "uniform", "size": 120, "unit": 1e-4},
+        "cluster": {"workers": 3},
+        "tag": "t",
+    }
+
+    def test_builds_the_one_shot_job(self):
+        job = job_from_spec(self.SPEC)
+        assert isinstance(job, SimJob)
+        assert job.scheme == "TSS"
+        assert job.engine == "master"
+        assert job.collect_events is True
+        # Same spec -> same deterministic job key.
+        assert job.key == job_from_spec(dict(self.SPEC)).key
+
+    def test_digest_identity_with_one_shot(self):
+        """The service correctness contract, in miniature: the job a
+        spec builds runs to the same canonical digest every time."""
+        d1 = stream_digest(job_from_spec(self.SPEC).run().obs_events)
+        d2 = stream_digest(job_from_spec(self.SPEC).run().obs_events)
+        assert d1 == d2
+
+    def test_adaptive_spec_accepted(self):
+        job = job_from_spec(dict(self.SPEC, scheme="adaptive:TSS+FSS@4"))
+        assert job.scheme == "adaptive:TSS+FSS@4"
+
+    def test_unknown_scheme_rejected_at_admission(self):
+        with pytest.raises(JobSpecError):
+            job_from_spec(dict(self.SPEC, scheme="ZIGZAG"))
+
+    def test_missing_scheme(self):
+        with pytest.raises(JobSpecError, match="scheme"):
+            job_from_spec({"workload": {"kind": "uniform", "size": 5}})
+
+    def test_chaos_plan_roundtrips(self):
+        from repro.chaos import FaultPlan
+
+        plan = FaultPlan.random(seed=3, workers=3, horizon=5.0)
+        job = job_from_spec(
+            dict(self.SPEC, chaos=plan.to_json(), chaos_scale=0.5)
+        )
+        embedded = job.params["chaos"]
+        assert embedded == plan.scaled(0.5)
+
+    def test_bad_chaos_plan(self):
+        with pytest.raises(JobSpecError, match="chaos"):
+            job_from_spec(dict(self.SPEC, chaos={"events": [{"kind": "??"}]}))
+
+    def test_results_flag_maps_to_collect_results(self):
+        job = job_from_spec(dict(self.SPEC, results=True))
+        assert job.params.get("collect_results") is True
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(JobSpecError):
+            job_from_spec(dict(self.SPEC, engine="quantum"))

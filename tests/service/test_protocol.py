@@ -1,0 +1,204 @@
+"""Frame codec: framing, caps, incremental decode, both IO styles."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_FRAME,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+    write_frame,
+)
+
+
+class TestEncode:
+    def test_roundtrip_layout(self):
+        frame = encode_frame({"op": "ping", "seq": 1})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert FrameDecoder().feed(frame) == [{"op": "ping", "seq": 1}]
+
+    def test_payload_is_canonical_json(self):
+        # sort_keys + compact separators: identical docs encode
+        # identically regardless of insertion order.
+        a = encode_frame({"b": 1, "a": 2})
+        b = encode_frame({"a": 2, "b": 1})
+        assert a == b
+        assert b"\n" not in a and b" " not in a[4:]
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            encode_frame(["not", "an", "object"])
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            encode_frame({"pad": "x" * (MAX_FRAME + 1)})
+
+
+class TestFrameDecoder:
+    def test_byte_at_a_time(self):
+        frame = encode_frame({"op": "hello", "tenant": "alice"})
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(frame)):
+            out.extend(decoder.feed(frame[i:i + 1]))
+        assert out == [{"op": "hello", "tenant": "alice"}]
+        assert decoder.pending_bytes == 0
+
+    def test_many_frames_one_chunk(self):
+        docs = [{"n": i} for i in range(5)]
+        blob = b"".join(encode_frame(d) for d in docs)
+        assert FrameDecoder().feed(blob) == docs
+
+    def test_split_across_chunks_keeps_remainder(self):
+        f1 = encode_frame({"n": 1})
+        f2 = encode_frame({"n": 2})
+        decoder = FrameDecoder()
+        assert decoder.feed(f1 + f2[:3]) == [{"n": 1}]
+        assert decoder.pending_bytes == 3
+        assert decoder.feed(f2[3:]) == [{"n": 2}]
+
+    def test_oversized_length_prefix_rejected_before_buffering(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            decoder.feed(struct.pack(">I", MAX_FRAME + 1))
+
+    def test_undecodable_payload(self):
+        bogus = b"\xff\xfe not json"
+        frame = struct.pack(">I", len(bogus)) + bogus
+        with pytest.raises(ProtocolError, match="undecodable"):
+            FrameDecoder().feed(frame)
+
+    def test_non_object_payload(self):
+        payload = b"[1,2,3]"
+        frame = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="JSON object"):
+            FrameDecoder().feed(frame)
+
+
+class TestBlockingSockets:
+    def _pair(self):
+        return socket.socketpair()
+
+    def test_roundtrip(self):
+        a, b = self._pair()
+        try:
+            send_frame(a, {"op": "ping"})
+            assert recv_frame(b) == {"op": "ping"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = self._pair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_torn_frame_raises(self):
+        a, b = self._pair()
+        try:
+            frame = encode_frame({"op": "ping"})
+            a.sendall(frame[:len(frame) - 2])
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_torn_header_raises(self):
+        a, b = self._pair()
+        try:
+            a.sendall(b"\x00\x00")
+            a.close()
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_announcement_rejected(self):
+        a, b = self._pair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME + 1))
+            with pytest.raises(ProtocolError, match="MAX_FRAME"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAsyncioStreams:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_roundtrip_over_unix_socket(self, tmp_path):
+        path = str(tmp_path / "t.sock")
+
+        async def scenario():
+            got = []
+
+            async def handler(reader, writer):
+                got.append(await read_frame(reader))
+                await write_frame(writer, {"pong": True})
+                writer.close()
+
+            server = await asyncio.start_unix_server(handler, path=path)
+            reader, writer = await asyncio.open_unix_connection(path)
+            await write_frame(writer, {"op": "ping"})
+            reply = await read_frame(reader)
+            assert await read_frame(reader) is None  # clean EOF
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return got, reply
+
+        got, reply = self._run(scenario())
+        assert got == [{"op": "ping"}]
+        assert reply == {"pong": True}
+
+    def test_async_and_blocking_interoperate(self, tmp_path):
+        """The client library's blocking codec against the daemon's
+        asyncio codec -- the actual production pairing."""
+        path = str(tmp_path / "t.sock")
+
+        async def serve_once():
+            done = asyncio.Event()
+
+            async def handler(reader, writer):
+                doc = await read_frame(reader)
+                await write_frame(writer, {"echo": doc})
+                writer.close()
+                done.set()
+
+            server = await asyncio.start_unix_server(handler, path=path)
+            ready.set()
+            await done.wait()
+            server.close()
+            await server.wait_closed()
+
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=lambda: asyncio.run(serve_once()), daemon=True
+        )
+        thread.start()
+        assert ready.wait(5.0)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(path)
+        try:
+            send_frame(sock, {"op": "ping", "seq": 9})
+            assert recv_frame(sock) == {"echo": {"op": "ping", "seq": 9}}
+        finally:
+            sock.close()
+        thread.join(timeout=5.0)

@@ -1,0 +1,257 @@
+"""ServiceServer end-to-end: tenants, digests, admission, drain.
+
+These tests run a real daemon (asyncio on a background thread, real
+worker processes, real Unix sockets) and drive it with the blocking
+:class:`~repro.service.client.ServiceClient` -- the production
+pairing.  The acceptance checks from the issue live here:
+
+* >= 4 concurrent tenants on one shared pool, each getting a canonical
+  stream digest bit-identical to the one-shot ``SimJob`` equivalent;
+* admission control bounds memory: hammering a full queue yields
+  reasoned rejects, not unbounded queueing;
+* graceful drain finishes in-flight jobs and rejects new ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.obs import stream_digest
+from repro.runtime.config import RuntimeConfig
+from repro.service import ServiceClient, ServiceError
+from repro.service.jobs import job_from_spec
+from repro.service.server import ServiceConfig, ServiceServer
+from repro.verify import audit_service_log
+
+SNAPPY = RuntimeConfig(
+    poll_timeout=0.05,
+    worker_deadline=20.0,
+    heartbeat_interval=0.2,
+    join_timeout=5.0,
+)
+
+
+def tenant_spec(i: int) -> dict:
+    """Per-tenant distinct jobs (scheme and size differ)."""
+    schemes = ["TSS", "GSS", "FSS", "CSS", "adaptive:TSS+FSS@4"]
+    return {
+        "scheme": schemes[i % len(schemes)],
+        "workload": {
+            "kind": "uniform", "size": 150 + 25 * i, "unit": 1e-4,
+        },
+        "cluster": {"workers": 3},
+        "tag": f"tenant-{i}",
+    }
+
+
+class _Daemon(object):
+    """A live daemon on a background thread, torn down on exit."""
+
+    def __init__(self, tmp_path, **config_kwargs):
+        self.sock = str(tmp_path / "repro.sock")
+        kwargs = dict(workers=2, socket_path=self.sock)
+        kwargs.update(config_kwargs)
+        kwargs.setdefault("runtime", SNAPPY)
+        self.server = ServiceServer(ServiceConfig(**kwargs))
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(
+                self.server.serve(install_signals=False)
+            ),
+            daemon=True,
+        )
+
+    def __enter__(self):
+        self._thread.start()
+        # Wait for the socket to accept (client retries handle it).
+        probe = ServiceClient.connect(
+            self.sock, tenant="probe", retry_for=10.0
+        )
+        probe.close()
+        return self
+
+    def __exit__(self, *exc):
+        if self._thread.is_alive():
+            try:
+                with self.client("teardown") as c:
+                    c.drain()
+            except Exception:
+                pass
+            self._thread.join(timeout=30.0)
+
+    def client(self, tenant: str) -> ServiceClient:
+        return ServiceClient.connect(
+            self.sock, tenant=tenant, retry_for=5.0
+        )
+
+
+class TestBasics:
+    def test_hello_ping_status(self, tmp_path):
+        with _Daemon(tmp_path) as d, d.client("alice") as c:
+            assert c.server_info["tenant"] == "alice"
+            assert c.ping()
+            status = c.status()
+            assert status["pool"]["workers"] == 2
+            assert status["draining"] is False
+
+    def test_bad_spec_rejected_with_reason(self, tmp_path):
+        with _Daemon(tmp_path) as d, d.client("alice") as c:
+            with pytest.raises(ServiceError) as err:
+                c.submit({"scheme": "NOPE",
+                          "workload": {"kind": "uniform", "size": 5}})
+            assert err.value.reason == "bad-spec"
+
+    def test_unknown_op(self, tmp_path):
+        with _Daemon(tmp_path) as d, d.client("alice") as c:
+            with pytest.raises(ServiceError) as err:
+                c._checked({"op": "teleport"})
+            assert err.value.reason == "unknown-op"
+
+    def test_wait_is_tenant_isolated(self, tmp_path):
+        with _Daemon(tmp_path) as d:
+            with d.client("alice") as alice, d.client("bob") as bob:
+                job_id = alice.submit(tenant_spec(0))
+                with pytest.raises(ServiceError) as err:
+                    bob.wait(job_id, timeout=5)
+                assert err.value.reason == "unknown-job"
+                assert alice.wait(job_id, timeout=60)["state"] == "done"
+
+
+class TestMultiTenantDigests:
+    def test_four_tenants_bit_identical_to_one_shot(self, tmp_path):
+        """The tentpole acceptance: 4 concurrent tenants sharing one
+        pool, every job's digest bit-equal to its one-shot run."""
+        n = 4
+        references = [
+            stream_digest(job_from_spec(tenant_spec(i)).run().obs_events)
+            for i in range(n)
+        ]
+        assert len(set(references)) == n  # genuinely distinct jobs
+
+        outs: dict[int, dict] = {}
+        errors: list[Exception] = []
+
+        def tenant_thread(i: int, daemon: _Daemon) -> None:
+            try:
+                with daemon.client(f"tenant-{i}") as c:
+                    outs[i] = c.run(tenant_spec(i), timeout=120)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        with _Daemon(tmp_path) as d:
+            threads = [
+                threading.Thread(target=tenant_thread, args=(i, d))
+                for i in range(n)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=180)
+            assert not errors, errors
+            with d.client("auditor") as c:
+                ledger = c.log()
+                trace = c.trace("*")
+        for i in range(n):
+            assert outs[i]["state"] == "done"
+            assert outs[i]["digest"] == references[i], f"tenant {i}"
+        audit_service_log(ledger).raise_if_failed()
+        # Every tenant's lifecycle shows in the merged trace.
+        details = " ".join(e.get("detail", "") for e in trace)
+        for i in range(n):
+            assert f"tenant=tenant-{i}" in details
+
+    def test_trace_scoped_to_tenant(self, tmp_path):
+        with _Daemon(tmp_path) as d:
+            with d.client("alice") as alice, d.client("bob") as bob:
+                alice.run(tenant_spec(0), timeout=60)
+                bob.run(tenant_spec(1), timeout=60)
+                mine = alice.trace()
+                assert mine and all(
+                    "tenant=alice" in e["detail"] for e in mine
+                )
+
+
+class TestAdmissionControl:
+    def test_queue_capacity_rejects_not_oom(self, tmp_path):
+        """10x oversubmission against a tiny queue: the overflow is
+        rejected with a reason, and admitted+pending never exceeds
+        capacity -- bounded memory by construction."""
+        capacity = 4
+        with _Daemon(
+            tmp_path, workers=1, queue_capacity=capacity,
+            tenant_capacity=capacity,
+        ) as d, d.client("flood") as c:
+            admitted, rejected = [], []
+            for i in range(10 * capacity):
+                try:
+                    admitted.append(c.submit(tenant_spec(0)))
+                except ServiceError as exc:
+                    assert exc.reason in ("queue-full", "tenant-quota")
+                    rejected.append(exc.reason)
+            assert rejected, "oversubmission was never rejected"
+            status = c.status()
+            pending = (
+                status["pool"]["queued"]
+                + status["pool"]["inflight"]
+                + status["resolving"]
+            )
+            assert pending <= capacity
+            # Everything admitted still completes.
+            for job_id in admitted:
+                assert c.wait(job_id, timeout=120)["state"] == "done"
+            metrics = c.metrics()
+            assert metrics["jobs_rejected_total"]["value"] \
+                == len(rejected)
+
+    def test_tenant_quota_is_per_tenant(self, tmp_path):
+        # greedy's first job must still be pending when the second
+        # submit lands, so make it wall-clock slow (SS = one event
+        # pair per iteration keeps the DES busy ~2s).
+        slow = dict(tenant_spec(0), scheme="SS",
+                    workload={"kind": "uniform", "size": 60000,
+                              "unit": 1e-4})
+        with _Daemon(
+            tmp_path, workers=1, queue_capacity=64, tenant_capacity=1,
+        ) as d:
+            with d.client("greedy") as greedy, \
+                    d.client("modest") as modest:
+                first = greedy.submit(slow)
+                with pytest.raises(ServiceError) as err:
+                    greedy.submit(tenant_spec(0))
+                assert err.value.reason == "tenant-quota"
+                # The quota binds greedy, not modest.
+                other = modest.submit(tenant_spec(1))
+                assert greedy.wait(first, timeout=60)["state"] == "done"
+                assert modest.wait(other, timeout=60)["state"] == "done"
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_and_rejects_new(self, tmp_path):
+        # The in-flight job must outlive the drain request, so make it
+        # wall-clock slow (SS grinds one event pair per iteration).
+        slow = dict(tenant_spec(0), scheme="SS",
+                    workload={"kind": "uniform", "size": 60000,
+                              "unit": 1e-4})
+        with _Daemon(tmp_path, workers=1) as d:
+            with d.client("alice") as c:
+                job_id = c.submit(slow)
+                c.drain()
+                with pytest.raises(ServiceError) as err:
+                    c.submit(tenant_spec(0))
+                assert err.value.reason == "draining"
+                # The in-flight job still completes and is waitable.
+                out = c.wait(job_id, timeout=60)
+                assert out["state"] == "done"
+            d._thread.join(timeout=30.0)
+            assert not d._thread.is_alive(), "daemon failed to drain"
+
+    def test_metrics_snapshot_shape(self, tmp_path):
+        with _Daemon(tmp_path) as d, d.client("alice") as c:
+            c.run(tenant_spec(0), timeout=60)
+            metrics = c.metrics()
+            assert metrics["jobs_submitted_total"]["value"] == 1
+            assert metrics["jobs_completed_total"]["value"] == 1
+            assert metrics["queue_wait_seconds"]["count"] == 1
+            assert metrics["workers_live"]["value"] == 2

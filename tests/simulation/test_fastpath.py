@@ -86,8 +86,18 @@ def workload():
 
 # -- master engine ---------------------------------------------------------
 
+#: Feedback-dependent schemes (the adaptive meta-scheduler) are
+#: fast-path *ineligible* by contract: they observe the run they
+#: steer, so the bit-identity sweep covers everything else and
+#: test_feedback_dependent_schemes_refuse_fast pins their refusal.
+FAST_ELIGIBLE = [
+    n for n in names()
+    if not getattr(make(n, 100, 4), "feedback_dependent", False)
+]
+FEEDBACK_DEPENDENT = [n for n in names() if n not in FAST_ELIGIBLE]
 
-@pytest.mark.parametrize("scheme", names())
+
+@pytest.mark.parametrize("scheme", FAST_ELIGIBLE)
 @pytest.mark.parametrize("loadshape", ["const", "random", "periodic"])
 def test_master_bit_identity(workload, scheme, loadshape):
     cluster = heterogeneous_cluster(loadshape)
@@ -100,7 +110,7 @@ def test_master_bit_identity(workload, scheme, loadshape):
 
 
 @pytest.mark.parametrize("overloaded", [(), (0, 3)])
-@pytest.mark.parametrize("scheme", names())
+@pytest.mark.parametrize("scheme", FAST_ELIGIBLE)
 def test_master_bit_identity_paper_cluster(scheme, overloaded):
     """Identical fast PEs produce structural event-time ties; the
     pedigree tie-break must replay the DES seq order exactly."""
@@ -109,6 +119,18 @@ def test_master_bit_identity_paper_cluster(scheme, overloaded):
     a = simulate(scheme, wl, cluster, fast=True)
     b = simulate(scheme, wl, cluster, fast=False)
     assert_identical(a, b, f"paper/{scheme}/{overloaded}")
+
+
+@pytest.mark.parametrize("scheme", FEEDBACK_DEPENDENT)
+def test_feedback_dependent_schemes_refuse_fast(workload, scheme):
+    """fast=True must raise with the blocking reason; fast="auto"
+    must fall back to the DES and match fast=False exactly."""
+    cluster = heterogeneous_cluster()
+    with pytest.raises(SimulationError, match="feedback-dependent"):
+        simulate(scheme, workload, cluster, fast=True)
+    a = simulate(scheme, workload, cluster, fast="auto")
+    b = simulate(scheme, workload, cluster, fast=False)
+    assert_identical(a, b, f"auto-fallback/{scheme}")
 
 
 def test_master_scheduler_instance_and_factory(workload):

@@ -286,6 +286,45 @@ class TestStreamBatch:
         assert len(lines) == 4
         assert json.loads(lines[-1])["key"] == jobs[2].key
 
+    def test_resume_warns_and_rewrites_torn_tail(
+        self, tmp_path, caplog
+    ):
+        """The torn-tail skip is announced, and the half-written job
+        re-runs and is rewritten whole (skip-and-rewrite)."""
+        import logging
+
+        jobs = small_jobs(3)
+        path = str(tmp_path / "sweep.jsonl")
+        run_batch(jobs[:2], persist=path)
+        # Kill mid-write of job 2's record: its key is readable, but
+        # the record is torn -- resume must treat the job as not done.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"key": jobs[2].key})[:-3])
+        with caplog.at_level(logging.WARNING, logger="repro.batch"):
+            resumed = run_batch(jobs, persist=path, resume=True)
+        assert any("skipped 1" in rec.message for rec in caplog.records)
+        assert len(resumed) == 3
+        lines = open(path, encoding="utf-8").read().splitlines()
+        # 2 clean + 1 torn + 1 rewritten-whole record
+        assert len(lines) == 4
+        assert json.loads(lines[-1])["key"] == jobs[2].key
+        assert result_rows(resumed[2]) \
+            == result_rows(run_batch([jobs[2]])[0])
+
+    def test_resume_tolerates_parsed_record_without_key(self, tmp_path):
+        """A tail line that *parses* but is not a record (e.g. torn at
+        a coincidentally-valid point, or foreign content) must be
+        skipped, not crash the resume with a KeyError."""
+        jobs = small_jobs(3)
+        path = str(tmp_path / "sweep.jsonl")
+        run_batch(jobs[:2], persist=path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"index": 7}\n')   # valid JSON, no "key"
+            fh.write('["not", "ours"]\n')  # valid JSON, not an object
+        resumed = run_batch(jobs, persist=path, resume=True)
+        assert [result_rows(r) for r in resumed] \
+            == [result_rows(r) for r in run_batch(jobs)]
+
     def test_interrupt_flushes_results_and_manifest(self, tmp_path):
         """A sweep killed mid-run persists everything finished plus a
         complete=false manifest, and resume finishes the job."""
