@@ -8,9 +8,28 @@ objects so experiment output is visually comparable with the paper.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Protocol, Sequence
 
 from ..simulation.metrics import SimResult
+
+
+class _WorkerClock(Protocol):
+    """What a runtime per-worker stats record must expose."""
+
+    wait_seconds: float
+    compute_seconds: float
+
+
+class _RuntimeRun(Protocol):
+    """Structural view of :class:`repro.runtime.RunResult`.
+
+    A Protocol instead of the concrete class keeps this analysis layer
+    import-free of the multiprocessing runtime (and lets tests feed
+    simple stand-ins).
+    """
+
+    elapsed: float
+    stats: Mapping[int, _WorkerClock]
 
 __all__ = ["format_time_table", "format_runtime_table", "format_matrix", "format_chunk_row"]
 
@@ -68,7 +87,7 @@ def format_time_table(results: Mapping[str, SimResult]) -> str:
     return format_matrix(schemes, rows, labels, corner="PE")
 
 
-def format_runtime_table(results: "Mapping[str, object]") -> str:
+def format_runtime_table(results: Mapping[str, _RuntimeRun]) -> str:
     """Paper-style table from *real* runtime runs.
 
     Takes ``scheme -> RunResult`` (from
@@ -80,7 +99,7 @@ def format_runtime_table(results: "Mapping[str, object]") -> str:
         raise ValueError("no results to tabulate")
     schemes = list(results)
     worker_ids = sorted(
-        {wid for r in results.values() for wid in r.stats}  # type: ignore[attr-defined]
+        {wid for r in results.values() for wid in r.stats}
     )
     rows = []
     labels = []
@@ -88,7 +107,7 @@ def format_runtime_table(results: "Mapping[str, object]") -> str:
         labels.append(str(wid + 1))
         cells = []
         for s in schemes:
-            stats = results[s].stats.get(wid)  # type: ignore[attr-defined]
+            stats = results[s].stats.get(wid)
             cells.append(
                 f"{stats.wait_seconds:.2f}/{stats.compute_seconds:.2f}"
                 if stats is not None
@@ -97,7 +116,7 @@ def format_runtime_table(results: "Mapping[str, object]") -> str:
         rows.append(cells)
     labels.append("elapsed")
     rows.append(
-        [f"{results[s].elapsed:.2f}" for s in schemes]  # type: ignore[attr-defined]
+        [f"{results[s].elapsed:.2f}" for s in schemes]
     )
     return format_matrix(schemes, rows, labels, corner="PE")
 

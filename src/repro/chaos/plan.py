@@ -43,7 +43,7 @@ checks after a faulty run.
 from __future__ import annotations
 
 import dataclasses
-from typing import ClassVar, Iterable, Optional, Union
+from typing import ClassVar, Iterable, Optional, Union, cast
 
 import numpy as np
 
@@ -240,19 +240,21 @@ class FaultPlan(object):
 
     @property
     def deaths(self) -> tuple[WorkerDeath, ...]:
-        return self.of_kind("death")  # type: ignore[return-value]
+        # Each event class pins ``kind`` as a ClassVar, so filtering by
+        # kind recovers the concrete type; cast records that invariant.
+        return cast("tuple[WorkerDeath, ...]", self.of_kind("death"))
 
     @property
     def restarts(self) -> tuple[WorkerRestart, ...]:
-        return self.of_kind("restart")  # type: ignore[return-value]
+        return cast("tuple[WorkerRestart, ...]", self.of_kind("restart"))
 
     @property
     def stalls(self) -> tuple[MasterStall, ...]:
-        return self.of_kind("stall")  # type: ignore[return-value]
+        return cast("tuple[MasterStall, ...]", self.of_kind("stall"))
 
     @property
     def spikes(self) -> tuple[LoadSpike, ...]:
-        return self.of_kind("spike")  # type: ignore[return-value]
+        return cast("tuple[LoadSpike, ...]", self.of_kind("spike"))
 
     def message_faults(self, worker: int) -> list[tuple[float, str, float]]:
         """``(at, kind, extra_seconds)`` per delay/loss of one worker."""

@@ -44,7 +44,7 @@ import math
 from typing import Optional
 
 from .acp import IMPROVED_ACP, AcpModel
-from .base import Scheduler, SchemeError, WorkerView
+from .base import ChunkAssignment, Scheduler, SchemeError, WorkerView
 from .trapezoid import TrapezoidParams
 
 __all__ = [
@@ -131,7 +131,9 @@ class DistributedSchedulerBase(Scheduler):
         """Recompute scheme parameters over ``iterations`` with p := A."""
         raise NotImplementedError
 
-    def next_chunk(self, worker: WorkerView):  # type: ignore[override]
+    def next_chunk(
+        self, worker: WorkerView
+    ) -> Optional[ChunkAssignment]:
         # ACP observation must precede sizing so this request's own
         # report participates in the "half changed" check (paper 2a/2c).
         if worker.acp is not None:

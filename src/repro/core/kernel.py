@@ -83,6 +83,7 @@ __all__ = [
     "TrapezoidFactoringCalculator",
     "CALCULATORS",
     "DECENTRAL_SCHEMES",
+    "NON_PURE_SCHEMES",
     "make_calculator",
     "chunk_size",
     "ChunkLadder",
@@ -515,6 +516,17 @@ CALCULATORS: dict[str, type[ChunkCalculator]] = {
 #: why the others are excluded).
 DECENTRAL_SCHEMES: tuple[str, ...] = tuple(CALCULATORS)
 
+#: Registry schemes *without* a pure form, and why: chunk sizes that
+#: depend on worker identity (S, BC, WF) or on runtime ACP reports
+#: (the distributed family).  Every ``registry.SCHEMES`` key must
+#: appear either in :data:`CALCULATORS` or here -- ``repro-lint``
+#: rule REP302 enforces the partition, so a newly registered scheme
+#: cannot silently fall through both the decentral substrate and the
+#: analytic fast path.
+NON_PURE_SCHEMES: frozenset = frozenset({
+    "S", "BC", "WF", "DTSS", "DFSS", "DFISS", "DTFSS",
+})
+
 
 def make_calculator(
     name: str, total: int, workers: int, **kwargs
@@ -530,11 +542,15 @@ def make_calculator(
     for kw, value in inline.items():
         kwargs.setdefault(kw, value)
     if key not in CALCULATORS:
+        why = (
+            "chunk sizes depend on worker identity or runtime ACP, so "
+            "they cannot be a pure function of the scheduled count"
+            if key in NON_PURE_SCHEMES
+            else "it has no registered calculator"
+        )
         raise SchemeError(
-            f"scheme {key!r} has no decentral form (chunk sizes depend "
-            f"on worker identity or runtime ACP, so they cannot be a "
-            f"pure function of the scheduled count); decentralizable: "
-            f"{', '.join(DECENTRAL_SCHEMES)}"
+            f"scheme {key!r} has no decentral form ({why}); "
+            f"decentralizable: {', '.join(DECENTRAL_SCHEMES)}"
         )
     return CALCULATORS[key](total, workers, **kwargs)
 

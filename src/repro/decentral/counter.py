@@ -40,6 +40,10 @@ __all__ = ["SharedCounter", "LeasedCounter"]
 try:  # pragma: no cover - import guard, exercised only off-POSIX
     import fcntl
 except ImportError:  # pragma: no cover
+    # Canonical import-guard idiom: the module-object name is rebound
+    # to None off-POSIX and every use goes through _require_fcntl().
+    # The ignore is deliberate and stays (mypy has no way to type a
+    # "module or None" sentinel).
     fcntl = None  # type: ignore[assignment]
 
 _WORD = struct.Struct("<q")

@@ -230,9 +230,13 @@ def _read_shard(path: str) -> list[tuple]:
                 records.append(pickle.load(handle))
             except EOFError:
                 break
-            except Exception:
+            except (pickle.UnpicklingError, AttributeError, ImportError,
+                    IndexError, ValueError, TypeError, OSError):
                 # A SIGKILL mid-write leaves a truncated/garbled tail;
-                # everything before it decoded fine and stands.
+                # everything before it decoded fine and stands.  This
+                # tuple is the documented set of errors ``pickle.load``
+                # raises on corrupt input (plus OSError for a torn
+                # read); a genuine bug still propagates.
                 break
     return records
 

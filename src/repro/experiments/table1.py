@@ -45,7 +45,9 @@ def report(total: int = 1000, workers: int = 4) -> str:
     lines = [f"Table 1 -- chunk sizes for I = {total}, p = {workers}", ""]
     for scheme, sizes in rows.items():
         lines.append(f"{scheme}:")
-        show = sizes if scheme != "SS" else sizes[:5] + ["..."]  # type: ignore[list-item]
+        show: list[object] = (
+            list(sizes) if scheme != "SS" else sizes[:5] + ["..."]
+        )
         lines.append("  " + format_chunk_row(
             [s for s in show if isinstance(s, int)]
         ) + (" ..." if scheme == "SS" else ""))

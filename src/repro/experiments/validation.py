@@ -12,11 +12,14 @@ import dataclasses
 from typing import Callable, Optional
 
 from ..analysis import power_cap
+from ..obs.logutil import get_logger
 from ..workloads import Workload
 from . import figures, table1, table2, table3
 from .config import FAST_SLOW_RATIO, paper_workload
 
 __all__ = ["Check", "run_checks", "report"]
+
+_log = get_logger("experiments.validation")
 
 
 @dataclasses.dataclass
@@ -42,7 +45,12 @@ def run_checks(
     def add(claim: str, fn: Callable[[], tuple[bool, str]]) -> None:
         try:
             ok, detail = fn()
-        except Exception as exc:  # pragma: no cover - defensive
+        except Exception as exc:  # noqa: BLE001  # pragma: no cover
+            # Deliberately broad: this is the checklist harness
+            # boundary, and one crashing check must surface as a FAIL
+            # row (with a logged traceback) rather than abort the rest
+            # of the battery.
+            _log.exception("check %r raised", claim)
             ok, detail = False, f"raised {exc!r}"
         checks.append(Check(claim=claim, passed=ok, detail=detail))
 

@@ -1,0 +1,80 @@
+"""Baseline handling: reviewed, grandfathered findings.
+
+A baseline is a JSON file of finding fingerprints that have been
+*reviewed and accepted* (typically findings that predate a new rule).
+``repro-lint --baseline`` subtracts them, so CI fails only on **new**
+findings while the grandfathered ones stay visible in the file for
+eventual burn-down.  Fingerprints hash the offending line's content
+(see :mod:`repro.lint.findings`), so unrelated edits do not churn the
+baseline, but touching the offending line re-surfaces the finding.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Sequence, Union
+
+from .findings import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+#: Conventional baseline location at the repo root.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path: Union[str, os.PathLike]) -> set:
+    """Fingerprints recorded in ``path`` (empty set if absent)."""
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return set()
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or doc.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: not a repro-lint baseline (expected a JSON "
+            f"object with version={_VERSION})"
+        )
+    return {
+        str(entry["fingerprint"]) for entry in doc.get("findings", ())
+    }
+
+
+def write_baseline(
+    path: Union[str, os.PathLike], findings: Iterable[Finding]
+) -> int:
+    """Write ``findings`` as the new baseline; returns the count.
+
+    Entries keep the human-readable fields next to the fingerprint so
+    a reviewer can audit the file without re-running the tool.
+    """
+    entries = sorted(
+        (f.to_dict() for f in findings),
+        key=lambda d: (d["path"], d["rule"], d["line"]),
+    )
+    doc = {"version": _VERSION, "findings": entries}
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], fingerprints: set
+) -> tuple:
+    """``(new, suppressed)`` split of ``findings`` against a baseline."""
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        if finding.fingerprint in fingerprints:
+            suppressed.append(finding)
+        else:
+            new.append(finding)
+    return new, suppressed

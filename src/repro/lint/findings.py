@@ -1,0 +1,50 @@
+"""The finding model: what every rule reports and how it is keyed.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:attr:`~Finding.fingerprint` intentionally hashes the *content* of the
+offending line rather than its number, so a baseline entry survives
+unrelated edits above it (the same trick ESLint and ruff baselines
+use); moving or editing the offending line itself re-surfaces the
+finding for review.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+__all__ = ["Finding", "PARSE_RULE"]
+
+#: Pseudo-rule for files the engine cannot parse at all.
+PARSE_RULE = "REP000"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding(object):
+    """One rule violation at one location."""
+
+    rule: str          #: rule id, e.g. ``"REP001"``
+    path: str          #: path as given to the engine (repo-relative)
+    line: int          #: 1-based line number (0 for file-level findings)
+    message: str       #: human-readable explanation with the fix hint
+    snippet: str = ""  #: stripped source line the finding anchors to
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: rule + path + line content."""
+        basis = "\x1f".join((self.rule, self.path, self.snippet))
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """``path:line: RULE message`` (the CLI text format)."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,242 @@
+"""REP3xx -- cross-file protocol rules.
+
+The repo's string protocols are *closed*: an ObsEvent ``kind`` must be
+declared in ``repro.obs.events.EVENT_KINDS`` (the auditor and the
+canonical stream reject or mis-classify unknown kinds), a wire ``op``
+must be one the daemon dispatches (``repro.service.protocol.OPS``),
+every scheme in ``core.registry.SCHEMES`` needs a pure calculator in
+``core.kernel.CALCULATORS`` or an explicit entry in the documented
+refusal set ``NON_PURE_SCHEMES`` (plus a test that references it), and
+every CLI artifact name must round-trip through the argparse menu and
+the dispatch chain.  These rules read the authoritative literals from
+whatever modules in the analyzed tree declare them (see
+:mod:`repro.lint.engine`), so they work on fixture trees too.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Iterator, Optional
+
+from ._util import call_tail
+from .engine import LintConfig, ModuleInfo
+from .findings import Finding
+
+__all__ = [
+    "check_rep301", "check_rep302", "check_rep303",
+    "check_rep304", "check_rep305",
+]
+
+#: Helper callees whose first string argument is an event kind.
+_EMIT_HELPERS = frozenset({"emit", "_emit", "dump_event"})
+
+
+def _declared(modules, name: str):
+    """Merged ``{literal: (module, line)}`` across declaring modules."""
+    merged: dict[str, tuple] = {}
+    for mod in modules:
+        for literal, line in mod.protocol_sets.get(name, ()):
+            merged.setdefault(literal, (mod, line))
+    return merged
+
+
+def _emitted_kinds(mod: ModuleInfo):
+    """(kind, node) for every statically-visible kind emission."""
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        tail = call_tail(node)
+        if tail == "ObsEvent":
+            if node.args and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                yield node.args[0].value, node.args[0]
+            for kw in node.keywords:
+                if kw.arg == "kind" \
+                        and isinstance(kw.value, ast.Constant) \
+                        and isinstance(kw.value.value, str):
+                    yield kw.value.value, kw.value
+        elif tail in _EMIT_HELPERS:
+            if node.args and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                yield node.args[0].value, node.args[0]
+
+
+def check_rep301(modules, config: LintConfig) -> Iterator[Finding]:
+    """REP301: emitted event kind missing from ``EVENT_KINDS``."""
+    kinds = _declared(modules, "EVENT_KINDS")
+    if not kinds:
+        return
+    for mod in modules:
+        for kind, node in _emitted_kinds(mod):
+            if kind not in kinds:
+                yield mod.finding(
+                    "REP301", node,
+                    f"event kind {kind!r} is not declared in "
+                    f"EVENT_KINDS (obs/events.py): the auditor will "
+                    f"reject it and canonical streams cannot classify "
+                    f"it; add it to the schema or fix the literal "
+                    f"(known: {', '.join(sorted(kinds))})",
+                )
+
+
+def check_rep302(modules, config: LintConfig) -> Iterator[Finding]:
+    """REP302: registry scheme without kernel calculator (or refusal
+    entry), or calculator for an unregistered scheme."""
+    schemes = _declared(modules, "SCHEMES")
+    calculators = _declared(modules, "CALCULATORS")
+    non_pure = _declared(modules, "NON_PURE_SCHEMES")
+    if not schemes or not calculators:
+        return
+    for name, (mod, line) in sorted(schemes.items()):
+        if name not in calculators and name not in non_pure:
+            yield mod.finding(
+                "REP302", line,
+                f"scheme {name!r} is registered but has neither a "
+                f"core.kernel calculator (CALCULATORS) nor an entry "
+                f"in the documented refusal set NON_PURE_SCHEMES; "
+                f"the decentral substrate and the analytic fast path "
+                f"would fail on it with an unexplained KeyError",
+            )
+    for name, (mod, line) in sorted(calculators.items()):
+        if name not in schemes:
+            yield mod.finding(
+                "REP302", line,
+                f"calculator {name!r} has no scheme in "
+                f"core.registry.SCHEMES: it is unreachable from every "
+                f"string entry point (simulate, SimJob, the CLIs)",
+            )
+    for name, (mod, line) in sorted(non_pure.items()):
+        if name in calculators:
+            yield mod.finding(
+                "REP302", line,
+                f"{name!r} appears in both CALCULATORS and "
+                f"NON_PURE_SCHEMES; the refusal set must list exactly "
+                f"the schemes without a pure form",
+            )
+
+
+def check_rep303(modules, config: LintConfig) -> Iterator[Finding]:
+    """REP303: artifact list, CLI choices and dispatch out of sync."""
+    for mod in modules:
+        artifacts = dict(mod.protocol_sets.get("ALL_ARTIFACTS", ()))
+        if not artifacts:
+            continue
+        choices = dict(mod.cli_choices)
+        if choices:
+            for name, line in sorted(artifacts.items()):
+                if name not in choices:
+                    yield mod.finding(
+                        "REP303", line,
+                        f"artifact {name!r} is in ALL_ARTIFACTS but "
+                        f"not offered by the CLI parser's choices; "
+                        f"'repro-experiments {name}' would be "
+                        f"rejected at argument parsing",
+                    )
+            for name, line in sorted(choices.items()):
+                if name == "all" or name in artifacts:
+                    continue
+                if name not in mod.eq_literals:
+                    yield mod.finding(
+                        "REP303", line,
+                        f"CLI choice {name!r} has no dispatch "
+                        f"comparison in this module: selecting it "
+                        f"parses fine and then silently produces "
+                        f"nothing",
+                    )
+        for name, line in sorted(artifacts.items()):
+            if name not in mod.eq_literals:
+                yield mod.finding(
+                    "REP303", line,
+                    f"artifact {name!r} has no dispatch comparison; "
+                    f"'repro-experiments all' would skip it silently",
+                )
+
+
+def _tests_text(tests_dir: str) -> str:
+    chunks: list[str] = []
+    for root, dirs, names in os.walk(tests_dir):
+        dirs[:] = [d for d in dirs
+                   if not d.startswith(".") and d != "__pycache__"]
+        for name in sorted(names):
+            if not name.endswith(".py"):
+                continue
+            try:
+                with open(os.path.join(root, name), "r",
+                          encoding="utf-8") as handle:
+                    chunks.append(handle.read())
+            except OSError:
+                continue
+    return "\n".join(chunks)
+
+
+def check_rep304(modules, config: LintConfig) -> Iterator[Finding]:
+    """REP304: registered scheme never referenced by the test suite."""
+    schemes = _declared(modules, "SCHEMES")
+    tests_dir: Optional[str] = config.tests_dir
+    if not schemes or not tests_dir or not os.path.isdir(tests_dir):
+        return
+    text = _tests_text(tests_dir)
+    for name, (mod, line) in sorted(schemes.items()):
+        if not re.search(rf"\b{re.escape(name)}\b", text):
+            yield mod.finding(
+                "REP304", line,
+                f"scheme {name!r} appears nowhere under "
+                f"{tests_dir}: an untested scheme has no reference "
+                f"digest, so nothing would notice it breaking",
+            )
+
+
+def _op_literals(mod: ModuleInfo):
+    """(op, node) for wire-op string literals: ``{"op": "x"}`` dict
+    entries, ``doc["op"] = "x"`` assignments, and ``op == "x"``
+    comparisons."""
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if isinstance(key, ast.Constant) and key.value == "op" \
+                        and isinstance(value, ast.Constant) \
+                        and isinstance(value.value, str):
+                    yield value.value, value
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) \
+                        and isinstance(target.slice, ast.Constant) \
+                        and target.slice.value == "op" \
+                        and isinstance(node.value, ast.Constant) \
+                        and isinstance(node.value.value, str):
+                    yield node.value.value, node.value
+        elif isinstance(node, ast.Compare) and len(node.ops) == 1 \
+                and isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            sides = (node.left, *node.comparators)
+            names = [
+                s for s in sides
+                if (isinstance(s, ast.Name) and s.id == "op")
+                or (isinstance(s, ast.Attribute) and s.attr == "op")
+            ]
+            if not names:
+                continue
+            for side in sides:
+                if isinstance(side, ast.Constant) \
+                        and isinstance(side.value, str):
+                    yield side.value, side
+
+
+def check_rep305(modules, config: LintConfig) -> Iterator[Finding]:
+    """REP305: wire op literal missing from ``service.protocol.OPS``."""
+    ops = _declared(modules, "OPS")
+    if not ops:
+        return
+    for mod in modules:
+        if "OPS" in mod.protocol_sets:
+            continue  # the declaration itself is not a use
+        for op, node in _op_literals(mod):
+            if op not in ops:
+                yield mod.finding(
+                    "REP305", node,
+                    f"wire op {op!r} is not in service.protocol.OPS: "
+                    f"the daemon would answer 'unknown-op'; add it to "
+                    f"OPS and a dispatch arm, or fix the literal "
+                    f"(known: {', '.join(sorted(ops))})",
+                )

@@ -100,7 +100,7 @@ def configure_logging(
             root.removeHandler(handler)
     handler = logging.StreamHandler(_StreamProxy(stream))
     handler.setFormatter(logging.Formatter(_FORMAT))
-    handler._repro_structured = True  # type: ignore[attr-defined]
+    setattr(handler, "_repro_structured", True)
     root.addHandler(handler)
     return root
 
@@ -111,7 +111,7 @@ def _artifact_logger() -> logging.Logger:
                for h in logger.handlers):
         handler = logging.StreamHandler(_StreamProxy("stdout"))
         handler.setFormatter(logging.Formatter("%(message)s"))
-        handler._repro_artifact = True  # type: ignore[attr-defined]
+        setattr(handler, "_repro_artifact", True)
         logger.addHandler(handler)
         logger.setLevel(logging.INFO)
         # Artifact text must not also reach the structured stderr

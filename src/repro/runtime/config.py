@@ -36,7 +36,17 @@ import math
 import os
 from typing import Optional
 
-__all__ = ["RuntimeConfig", "DEFAULT_CONFIG"]
+__all__ = ["RuntimeConfig", "DEFAULT_CONFIG", "env_float"]
+
+
+def env_float(name: str) -> Optional[float]:
+    """Parse ``$name`` as a finite float; ``None`` when unset/empty.
+
+    Shared by every ``REPRO_*`` knob (runtime and service client):
+    errors always name the variable, and non-finite values are
+    rejected before they can disable a timeout forever.
+    """
+    return _env_float(name)
 
 
 def _env_float(name: str) -> Optional[float]:

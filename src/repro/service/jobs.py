@@ -40,7 +40,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..batch import SimJob
-from ..simulation import ClusterSpec, NodeSpec
+from ..simulation import ClusterSpec, NodeSpec, SimulationError
 from ..workloads import Workload
 
 __all__ = [
@@ -53,6 +53,21 @@ __all__ = [
 
 class JobSpecError(ValueError):
     """A wire job spec is malformed (unknown kind, bad field, ...)."""
+
+
+def _spec_number(value: Any, what: str) -> float:
+    """Coerce a JSON field to float, turning junk into a bad-spec.
+
+    Raw ``float(...)`` on untrusted wire input would escape the
+    admission guard and kill the connection handler instead of
+    producing a ``bad-spec`` rejection.
+    """
+    try:
+        return float(value)
+    except (TypeError, ValueError) as exc:
+        raise JobSpecError(
+            f"{what} must be a number, got {value!r}"
+        ) from exc
 
 
 def _build_uniform(spec: dict) -> Workload:
@@ -205,14 +220,27 @@ def cluster_from_spec(
     for field in ("master_service", "request_bytes", "reply_bytes",
                   "result_bytes_per_item", "master_bandwidth"):
         if spec.get(field) is not None:
-            cluster_kwargs[field] = float(spec[field])
+            cluster_kwargs[field] = _spec_number(
+                spec[field], f"cluster {field}"
+            )
     raw_nodes = spec.get("nodes")
     if raw_nodes is None:
-        workers = int(spec.get("workers", default_workers))
+        try:
+            workers = int(spec.get("workers", default_workers))
+        except (TypeError, ValueError) as exc:
+            raise JobSpecError(
+                f"workers must be an integer, got "
+                f"{spec.get('workers')!r}"
+            ) from exc
         if workers < 1:
             raise JobSpecError(f"workers must be >= 1, got {workers}")
         raw_nodes = [{"name": f"n{i}", "speed": 100.0}
                      for i in range(workers)]
+    if not isinstance(raw_nodes, (list, tuple)):
+        raise JobSpecError(
+            f"cluster nodes must be an array, got "
+            f"{type(raw_nodes).__name__}"
+        )
     nodes = []
     for i, doc in enumerate(raw_nodes):
         if not isinstance(doc, dict) or "speed" not in doc:
@@ -221,18 +249,26 @@ def cluster_from_spec(
             )
         node_kwargs: dict[str, Any] = {
             "name": str(doc.get("name", f"n{i}")),
-            "speed": float(doc["speed"]),
+            "speed": _spec_number(doc["speed"], f"node {i} speed"),
         }
         for field in ("latency", "bandwidth", "virtual_power",
                       "fails_at"):
             if doc.get(field) is not None:
-                node_kwargs[field] = float(doc[field])
+                node_kwargs[field] = _spec_number(
+                    doc[field], f"node {i} {field}"
+                )
         if doc.get("segment") is not None:
             node_kwargs["segment"] = str(doc["segment"])
-        nodes.append(NodeSpec(**node_kwargs))
+        try:
+            nodes.append(NodeSpec(**node_kwargs))
+        except SimulationError as exc:
+            # NodeSpec's own range validation (speed > 0, ...).
+            raise JobSpecError(f"bad node {i}: {exc}") from exc
     try:
         return ClusterSpec(nodes=nodes, **cluster_kwargs)
-    except Exception as exc:
+    except (TypeError, ValueError) as exc:
+        # TypeError: unknown kwarg from the spec; ValueError: the
+        # constructor's own validation.  Anything else is a real bug.
         raise JobSpecError(f"bad cluster spec: {exc}") from exc
 
 
@@ -267,11 +303,13 @@ def job_from_spec(spec: dict) -> SimJob:
 
         try:
             plan = FaultPlan.from_json(spec["chaos"])
-        except Exception as exc:
-            raise JobSpecError(f"bad chaos plan: {exc}") from exc
+        except (KeyError, TypeError, ValueError) as exc:
+            # The shapes malformed JSON actually produces: missing
+            # keys, wrong field types, bad enum values.
+            raise JobSpecError(f"bad chaos plan: {exc!r}") from exc
         scale = spec.get("chaos_scale")
         if scale is not None:
-            plan = plan.scaled(float(scale))
+            plan = plan.scaled(_spec_number(scale, "chaos_scale"))
         params["chaos"] = plan
     if spec.get("results"):
         params["collect_results"] = True

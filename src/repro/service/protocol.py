@@ -29,6 +29,7 @@ from typing import Any, Optional
 
 __all__ = [
     "MAX_FRAME",
+    "OPS",
     "ProtocolError",
     "encode_frame",
     "FrameDecoder",
@@ -42,6 +43,17 @@ __all__ = [
 #: for a result carrying a full obs trace, small enough that a bogus
 #: length prefix cannot balloon the daemon's memory.
 MAX_FRAME = 32 * 1024 * 1024
+
+#: The closed set of wire operations the daemon dispatches.  This is
+#: the authoritative list both sides are checked against: the server's
+#: ``unknown-op`` reply names it, and ``repro-lint`` rule REP305
+#: verifies every ``"op"`` literal in the codebase (client requests
+#: and server dispatch arms alike) is a member, so a typo'd op fails
+#: static analysis instead of a live round-trip.
+OPS = frozenset({
+    "hello", "ping", "submit", "wait", "status", "metrics",
+    "trace", "log", "drain", "chaos", "kill-worker",
+})
 
 _LEN = struct.Struct(">I")
 

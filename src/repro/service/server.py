@@ -49,7 +49,7 @@ from ..obs.logutil import get_logger
 from ..runtime.config import RuntimeConfig
 from .jobs import JobSpecError, job_from_spec
 from .pool import JobRecord, WorkerPool
-from .protocol import ProtocolError, read_frame, write_frame
+from .protocol import OPS, ProtocolError, read_frame, write_frame
 
 __all__ = ["ServiceConfig", "ServiceServer", "serve_until_complete"]
 
@@ -490,8 +490,11 @@ class ServiceServer(object):
                 elif op == "ping":
                     reply = _reply(seq, ok=True, pong=True)
                 else:
-                    reply = _reply(seq, ok=False, error="unknown-op",
-                                   message=f"unknown op {op!r}")
+                    reply = _reply(
+                        seq, ok=False, error="unknown-op",
+                        message=f"unknown op {op!r}; valid ops: "
+                                f"{', '.join(sorted(OPS))}",
+                    )
                 await write_frame(writer, reply)
         except (ConnectionResetError, BrokenPipeError,
                 asyncio.CancelledError):

@@ -125,7 +125,14 @@ class ClusterSpec(object):
 
     def virtual_powers(self) -> list[float]:
         """``V_i`` per node (1.0 for the slowest)."""
-        return [float(n.virtual_power) for n in self.nodes]  # type: ignore[arg-type]
+        powers = []
+        for node in self.nodes:
+            # __post_init__ fills every None before the spec escapes
+            # the constructor; assert narrows for the type checker and
+            # turns a regression into a loud failure.
+            assert node.virtual_power is not None
+            powers.append(float(node.virtual_power))
+        return powers
 
     def subset(self, indices: Sequence[int]) -> "ClusterSpec":
         """A cluster containing only the selected slaves.

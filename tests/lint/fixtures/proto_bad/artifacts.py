@@ -1,0 +1,21 @@
+"""CLI artifact menu out of sync with the dispatch chain."""
+
+import argparse
+
+ALL_ARTIFACTS = ("table1", "table3")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "artifact", choices=["table1", "figure", "all"],
+    )
+    return parser
+
+
+def dispatch(artifact: str):
+    if artifact == "table1":
+        return "t1"
+    # "table3" is never compared -> silently skipped by "all";
+    # "figure" parses but has no arm either.
+    return None

@@ -1,0 +1,17 @@
+"""Client speaking one op the daemon never dispatches."""
+
+
+def ping(conn) -> None:
+    conn.send({"op": "ping"})
+
+
+def submit(conn, job) -> None:
+    doc = {"job": job}
+    doc["op"] = "submitt"   # typo -> REP305
+    conn.send(doc)
+
+
+def dispatch(op: str):
+    if op == "statuss":     # typo'd arm -> REP305
+        return "status"
+    return None

@@ -1,0 +1,17 @@
+"""Emits one declared kind and two that the schema never heard of."""
+
+_SRC = "emitter"
+
+
+def publish(bus, t: float) -> None:
+    bus.push(ObsEvent("chunk", _SRC, t))
+    bus.push(ObsEvent("chunkk", _SRC, t))          # typo -> REP301
+    bus.push(ObsEvent(kind="progress", src=_SRC))  # undeclared -> REP301
+
+
+def emit(kind: str, **payload):
+    ...
+
+
+def heartbeat() -> None:
+    emit("heartbeatt")                             # typo -> REP301

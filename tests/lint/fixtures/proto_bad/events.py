@@ -1,0 +1,3 @@
+"""Schema authority for the bad fixture tree."""
+
+EVENT_KINDS = frozenset({"chunk", "result"})

@@ -1,0 +1,10 @@
+"""Calculator table with one unreachable entry and a refusal-set
+contradiction."""
+
+CALCULATORS = {
+    "TSS": "calc_tss",
+    "ORPHAN": "calc_orphan",   # -> REP302 (no registered scheme)
+    "S": "calc_s",             # -> REP302 (also in NON_PURE_SCHEMES)
+}
+
+NON_PURE_SCHEMES = frozenset({"S"})

@@ -1,0 +1,3 @@
+"""Wire-op authority for the bad fixture tree."""
+
+OPS = frozenset({"ping", "submit"})

@@ -1,0 +1,7 @@
+"""Scheme registry with one orphan scheme (no calculator, no refusal
+entry)."""
+
+SCHEMES = {
+    "TSS": "trapezoid",
+    "GHOST": "nowhere",   # -> REP302 (no calculator, not refused)
+}

@@ -1,0 +1,21 @@
+"""Artifact menu, CLI choices and dispatch all in sync."""
+
+import argparse
+
+ALL_ARTIFACTS = ("table1", "figure")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "artifact", choices=["table1", "figure", "all"],
+    )
+    return parser
+
+
+def dispatch(artifact: str):
+    if artifact == "table1":
+        return "t1"
+    if artifact == "figure":
+        return "fig"
+    return None

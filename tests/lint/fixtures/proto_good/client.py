@@ -1,0 +1,17 @@
+"""Client and dispatch speaking only declared ops."""
+
+
+def ping(conn) -> None:
+    conn.send({"op": "ping"})
+
+
+def submit(conn, job) -> None:
+    doc = {"job": job}
+    doc["op"] = "submit"
+    conn.send(doc)
+
+
+def dispatch(op: str):
+    if op == "status":
+        return "status"
+    return None

@@ -1,0 +1,16 @@
+"""Every emitted kind is declared in the schema."""
+
+_SRC = "emitter"
+
+
+def publish(bus, t: float) -> None:
+    bus.push(ObsEvent("chunk", _SRC, t))
+    bus.push(ObsEvent(kind="result", src=_SRC))
+
+
+def emit(kind: str, **payload):
+    ...
+
+
+def heartbeat() -> None:
+    emit("heartbeat")

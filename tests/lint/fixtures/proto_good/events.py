@@ -1,0 +1,3 @@
+"""Schema authority for the good fixture tree."""
+
+EVENT_KINDS = frozenset({"chunk", "result", "heartbeat"})

@@ -1,0 +1,7 @@
+"""Calculator table consistent with the registry."""
+
+CALCULATORS = {
+    "TSS": "calc_tss",
+}
+
+NON_PURE_SCHEMES = frozenset({"S"})

@@ -1,0 +1,3 @@
+"""Wire-op authority for the good fixture tree."""
+
+OPS = frozenset({"ping", "submit", "status"})

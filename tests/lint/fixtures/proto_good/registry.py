@@ -1,0 +1,6 @@
+"""Registry partitioned exactly into calculators + refusals."""
+
+SCHEMES = {
+    "TSS": "trapezoid",
+    "S": "static",
+}

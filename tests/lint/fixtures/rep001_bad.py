@@ -1,0 +1,19 @@
+"""REP001 failing fixture: three spellings of the global RNG."""
+
+import random
+from random import shuffle
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def scramble(xs: list) -> None:
+    shuffle(xs)
+
+
+def legacy_noise(n: int):
+    np.random.seed(0)
+    return np.random.rand(n)

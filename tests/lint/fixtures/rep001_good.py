@@ -1,0 +1,17 @@
+"""REP001 passing fixture: seeded generators threaded explicitly."""
+
+import random
+
+import numpy as np
+
+
+def jitter(rng: random.Random) -> float:
+    return rng.random()
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def noise(seed: int, n: int):
+    return np.random.default_rng(seed).random(n)

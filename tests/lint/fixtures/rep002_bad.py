@@ -1,0 +1,17 @@
+"""REP002 failing fixture: seedless and entropy-backed constructors."""
+
+import random
+
+import numpy as np
+
+
+def fresh() -> random.Random:
+    return random.Random()
+
+
+def fresh_np():
+    return np.random.default_rng()
+
+
+def entropy() -> random.Random:
+    return random.SystemRandom()

@@ -1,0 +1,17 @@
+"""REP002 passing fixture: every constructor takes an explicit seed."""
+
+import random
+
+import numpy as np
+
+
+def fresh(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def fresh_np(seed: int):
+    return np.random.default_rng(seed)
+
+
+def derived(seed: int) -> random.Random:
+    return random.Random(seed=seed)

@@ -1,0 +1,22 @@
+"""REP003 failing fixture: clock reads outside t/wall, and inside
+digest-critical code."""
+
+import time
+import uuid
+
+_SRC = "fixture"
+
+
+def emit_bad(bus):
+    # stamp= is a payload field -> enters the canonical stream.
+    bus.push(ObsEvent("chunk", _SRC, 0.0, stamp=time.time()))
+
+
+def tag_bad(bus):
+    bus.push(ObsEvent(kind="result", src=_SRC, token=str(uuid.uuid4())))
+
+
+def canonical_stream(events):
+    # Any tainted call in a digest-critical module is flagged.
+    cutoff = time.time()
+    return [e for e in events if e.t < cutoff]

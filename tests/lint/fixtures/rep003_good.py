@@ -1,0 +1,18 @@
+"""REP003 passing fixture: clock reads confined to t/wall (which
+canonical_stream strips), none in digest-critical code."""
+
+import time
+
+_SRC = "fixture"
+
+
+def emit_ok(bus, t_sim: float):
+    bus.push(ObsEvent("chunk", _SRC, time.time(), wall=time.time()))
+    bus.push(ObsEvent(kind="result", src=_SRC, t=t_sim,
+                      wall=time.time()))
+
+
+def elapsed(started: float) -> float:
+    # Tainted calls outside ObsEvent payloads are fine in a module
+    # that is not digest-critical.
+    return time.time() - started

@@ -1,0 +1,10 @@
+"""REP004 failing fixture: unordered set iteration in digest code."""
+
+
+def canonical_stream(events):
+    order = []
+    for kind in {"chunk", "result"}:
+        order.append(kind)
+    labels = ",".join({e.src for e in events})
+    flat = [k for k in set(order)]
+    return order, labels, flat

@@ -1,0 +1,12 @@
+"""REP004 passing fixture: every set is sorted before iteration, and
+set iteration outside digest-critical modules is not the rule's
+business (this module IS digest-critical, so it must sort)."""
+
+
+def canonical_stream(events):
+    order = []
+    for kind in sorted({"chunk", "result"}):
+        order.append(kind)
+    labels = ",".join(sorted({e.src for e in events}))
+    flat = [k for k in sorted(set(order))]
+    return order, labels, flat

@@ -1,0 +1,5 @@
+"""REP005 failing fixture: salted builtin hash() in digest code."""
+
+
+def stream_digest(events):
+    return hash(tuple(e.kind for e in events))

@@ -1,0 +1,16 @@
+"""REP005 passing fixture: sha256 over canonical bytes; hash() only
+inside __hash__ (where it is the protocol, not a digest input)."""
+
+import hashlib
+
+
+def stream_digest(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+class Key(object):
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+
+    def __hash__(self) -> int:
+        return hash(self.kind)

@@ -1,0 +1,11 @@
+"""REP101 failing fixture: acquire with no guaranteed release."""
+
+import threading
+
+_LOCK = threading.Lock()
+
+
+def risky(shared: dict, key: str, value: object) -> None:
+    _LOCK.acquire()
+    shared[key] = value  # an exception here leaks the lock
+    _LOCK.release()

@@ -1,0 +1,26 @@
+"""REP101 passing fixture: both sanctioned shapes."""
+
+import threading
+
+_LOCK = threading.Lock()
+
+
+def with_statement(shared: dict, key: str, value: object) -> None:
+    with _LOCK:
+        shared[key] = value
+
+
+def try_finally(shared: dict, key: str, value: object) -> None:
+    _LOCK.acquire()
+    try:
+        shared[key] = value
+    finally:
+        _LOCK.release()
+
+
+def acquire_inside_try(shared: dict, key: str) -> None:
+    try:
+        _LOCK.acquire()
+        del shared[key]
+    finally:
+        _LOCK.release()

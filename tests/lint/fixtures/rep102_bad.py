@@ -1,0 +1,13 @@
+"""REP102 failing fixture: pump thread started before the fork."""
+
+import multiprocessing as mp
+import threading
+
+
+def start_pool(n: int, drain):
+    pump = threading.Thread(target=drain, daemon=True)
+    pump.start()
+    procs = [mp.Process(target=drain) for _ in range(n)]
+    for proc in procs:
+        proc.start()
+    return pump, procs

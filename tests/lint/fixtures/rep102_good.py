@@ -1,0 +1,13 @@
+"""REP102 passing fixture: processes first, threads after."""
+
+import multiprocessing as mp
+import threading
+
+
+def start_pool(n: int, drain):
+    procs = [mp.Process(target=drain) for _ in range(n)]
+    for proc in procs:
+        proc.start()
+    pump = threading.Thread(target=drain, daemon=True)
+    pump.start()
+    return pump, procs

@@ -1,0 +1,9 @@
+"""REP103 failing fixture: worker entry mutating module state."""
+
+PENDING: dict = {}
+
+
+def worker_main(idx: int) -> None:
+    global TOTAL
+    TOTAL = idx
+    PENDING[idx] = "started"

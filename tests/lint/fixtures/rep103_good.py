@@ -1,0 +1,16 @@
+"""REP103 passing fixture: workers keep state local and ship it back
+through the queue; only non-worker (parent-side) code touches the
+module-level registry."""
+
+PENDING: dict = {}
+
+
+def admit(idx: int) -> None:
+    # Parent-side bookkeeping: fine, this never runs post-fork.
+    PENDING[idx] = "admitted"
+
+
+def worker_main(idx: int, out_q) -> None:
+    local: dict = {}
+    local[idx] = "started"
+    out_q.put((idx, local))

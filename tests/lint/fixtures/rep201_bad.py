@@ -1,0 +1,11 @@
+"""REP201 failing fixture: the loop blocked three ways."""
+
+import subprocess
+import time
+
+
+async def handle(reader, writer):
+    time.sleep(0.1)
+    banner = open("/etc/motd").read()
+    subprocess.run(["sync"])
+    return banner

@@ -1,0 +1,17 @@
+"""REP201 passing fixture: async sleeps, and blocking work confined
+to a nested sync helper (handed to an executor by the caller)."""
+
+import asyncio
+import time
+
+
+async def handle(reader, writer):
+    await asyncio.sleep(0.1)
+
+    def blocking_part():
+        # Inside a *sync* nested def: not this async frame's problem.
+        time.sleep(0.1)
+        return open("/etc/motd").read()
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, blocking_part)

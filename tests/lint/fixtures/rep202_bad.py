@@ -1,0 +1,17 @@
+"""REP202 failing fixture: coroutine objects built and dropped."""
+
+
+async def pump() -> None:
+    ...
+
+
+def kick() -> None:
+    pump()
+
+
+class Daemon(object):
+    async def drain(self) -> None:
+        ...
+
+    def stop(self) -> None:
+        self.drain()

@@ -1,0 +1,22 @@
+"""REP202 passing fixture: every coroutine awaited or task-wrapped."""
+
+import asyncio
+
+
+async def pump() -> None:
+    ...
+
+
+async def kick() -> None:
+    await pump()
+
+
+class Daemon(object):
+    async def drain(self) -> None:
+        ...
+
+    async def stop(self) -> None:
+        await self.drain()
+
+    def schedule(self) -> None:
+        self._task = asyncio.create_task(self.drain())

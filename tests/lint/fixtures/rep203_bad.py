@@ -1,0 +1,12 @@
+"""REP203 failing fixture: task handle dropped on the floor."""
+
+import asyncio
+
+
+async def pump() -> None:
+    ...
+
+
+async def serve() -> None:
+    asyncio.create_task(pump())
+    asyncio.ensure_future(pump())

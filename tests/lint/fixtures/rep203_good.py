@@ -1,0 +1,13 @@
+"""REP203 passing fixture: handles kept (and awaited on shutdown)."""
+
+import asyncio
+
+
+async def pump() -> None:
+    ...
+
+
+async def serve(tasks: set) -> None:
+    handle = asyncio.create_task(pump())
+    tasks.add(handle)
+    await handle

@@ -1,0 +1,48 @@
+"""REP2xx async hygiene rules against the fixture pairs."""
+
+from __future__ import annotations
+
+from .conftest import lint_fixture, rules_of
+
+
+class TestRep201BlockingInAsync:
+    def test_bad_fixture_fails(self):
+        findings = [
+            f for f in lint_fixture("rep201_bad.py")
+            if f.rule == "REP201"
+        ]
+        # time.sleep, open(), subprocess.run
+        assert len(findings) == 3
+        assert any("time.sleep" in f.message for f in findings)
+
+    def test_good_fixture_passes(self):
+        # Blocking work lives in a nested *sync* def handed to an
+        # executor -- not this async frame's problem.
+        assert "REP201" not in rules_of(lint_fixture("rep201_good.py"))
+
+
+class TestRep202UnawaitedCoroutine:
+    def test_bad_fixture_fails(self):
+        findings = [
+            f for f in lint_fixture("rep202_bad.py")
+            if f.rule == "REP202"
+        ]
+        # bare pump() and bare self.drain()
+        assert len(findings) == 2
+        assert any("'pump(...)'" in f.message for f in findings)
+
+    def test_good_fixture_passes(self):
+        assert "REP202" not in rules_of(lint_fixture("rep202_good.py"))
+
+
+class TestRep203DroppedTaskHandle:
+    def test_bad_fixture_fails(self):
+        findings = [
+            f for f in lint_fixture("rep203_bad.py")
+            if f.rule == "REP203"
+        ]
+        # create_task and ensure_future, both dropped
+        assert len(findings) == 2
+
+    def test_good_fixture_passes(self):
+        assert "REP203" not in rules_of(lint_fixture("rep203_good.py"))

@@ -1,0 +1,67 @@
+"""REP1xx fork & lock safety rules against the fixture pairs."""
+
+from __future__ import annotations
+
+from .conftest import lint_fixture, lint_tree, rules_of
+
+
+class TestRep101BareAcquire:
+    def test_bad_fixture_fails(self):
+        findings = [
+            f for f in lint_fixture("rep101_bad.py")
+            if f.rule == "REP101"
+        ]
+        assert len(findings) == 1
+        assert "_LOCK.acquire()" in findings[0].message
+
+    def test_good_fixture_passes(self):
+        assert "REP101" not in rules_of(lint_fixture("rep101_good.py"))
+
+
+class TestRep102ThreadBeforeFork:
+    def test_bad_fixture_fails(self):
+        findings = [
+            f for f in lint_fixture("rep102_bad.py")
+            if f.rule == "REP102"
+        ]
+        assert len(findings) == 1
+        assert "thread" in findings[0].message
+
+    def test_good_fixture_passes(self):
+        assert "REP102" not in rules_of(lint_fixture("rep102_good.py"))
+
+    def test_module_level_thread_always_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "mod.py": (
+                "import multiprocessing as mp\n"
+                "import threading\n"
+                "PUMP = threading.Thread(target=print)\n"
+                "def spawn():\n"
+                "    return mp.Process(target=print)\n"
+            ),
+        })
+        assert "REP102" in rules_of(findings)
+
+    def test_non_forking_module_exempt(self, tmp_path):
+        # Same thread-then-nothing shape, but the module never forks,
+        # so REP102 has nothing to say.
+        findings = lint_tree(tmp_path, {
+            "mod.py": (
+                "import threading\n"
+                "PUMP = threading.Thread(target=print)\n"
+            ),
+        })
+        assert "REP102" not in rules_of(findings)
+
+
+class TestRep103WorkerGlobalMutation:
+    def test_bad_fixture_fails(self):
+        findings = [
+            f for f in lint_fixture("rep103_bad.py")
+            if f.rule == "REP103"
+        ]
+        # the ``global`` statement and the PENDING[...] mutation
+        assert len(findings) == 2
+
+    def test_good_fixture_passes(self):
+        assert "REP103" not in rules_of(lint_fixture("rep103_good.py"))

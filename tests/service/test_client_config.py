@@ -1,0 +1,105 @@
+"""ClientConfig env parsing and the capped-backoff connect retry."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.service.client as client_mod
+from repro.service.client import ClientConfig, ServiceClient
+
+
+class TestClientConfig:
+    def test_defaults(self):
+        config = ClientConfig()
+        assert config.retry_initial == pytest.approx(0.02)
+        assert config.retry_max == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="retry_initial"):
+            ClientConfig(retry_initial=0.0)
+        with pytest.raises(ValueError, match="retry_max"):
+            ClientConfig(retry_initial=0.5, retry_max=0.1)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLIENT_RETRY_INITIAL", "0.01")
+        monkeypatch.setenv("REPRO_CLIENT_RETRY_MAX", "2.0")
+        config = ClientConfig.from_env()
+        assert config.retry_initial == pytest.approx(0.01)
+        assert config.retry_max == pytest.approx(2.0)
+
+    def test_from_env_kwargs_win(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLIENT_RETRY_MAX", "2.0")
+        config = ClientConfig.from_env(retry_max=0.25)
+        assert config.retry_max == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("value", ["0", "-1", "nan", "lots"])
+    def test_bad_env_names_the_variable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_CLIENT_RETRY_INITIAL", value)
+        with pytest.raises(ValueError,
+                           match="REPRO_CLIENT_RETRY_INITIAL"):
+            ClientConfig.from_env()
+
+    def test_unset_env_means_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CLIENT_RETRY_INITIAL",
+                           raising=False)
+        monkeypatch.delenv("REPRO_CLIENT_RETRY_MAX", raising=False)
+        assert ClientConfig.from_env() == ClientConfig()
+
+
+class _FakeClock:
+    """Deterministic stand-in for the ``time`` module: ``sleep``
+    advances ``monotonic`` and records every wait."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list = []
+
+    def monotonic(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestConnectBackoff:
+    def _attempt(self, tmp_path, monkeypatch, retry_for: float,
+                 config: ClientConfig):
+        clock = _FakeClock()
+        monkeypatch.setattr(client_mod, "time", clock)
+        missing = str(tmp_path / "no-daemon.sock")
+        with pytest.raises(FileNotFoundError):
+            ServiceClient.connect(
+                missing, retry_for=retry_for, config=config
+            )
+        return clock
+
+    def test_waits_double_up_to_the_cap(self, tmp_path, monkeypatch):
+        clock = self._attempt(
+            tmp_path, monkeypatch, retry_for=2.0,
+            config=ClientConfig(retry_initial=0.05, retry_max=0.4),
+        )
+        assert clock.sleeps[:4] == pytest.approx(
+            [0.05, 0.1, 0.2, 0.4]
+        )
+        # Capped thereafter, never growing past retry_max.
+        assert all(s <= 0.4 + 1e-9 for s in clock.sleeps)
+
+    def test_never_sleeps_past_the_deadline(self, tmp_path,
+                                            monkeypatch):
+        clock = self._attempt(
+            tmp_path, monkeypatch, retry_for=0.12,
+            config=ClientConfig(retry_initial=0.05, retry_max=0.4),
+        )
+        # 0.05 + 0.07 == deadline: the final wait is clipped to the
+        # remaining budget instead of the backoff ladder's 0.1.
+        assert sum(clock.sleeps) == pytest.approx(0.12)
+        assert clock.sleeps[-1] < 0.1
+
+    def test_no_retry_budget_raises_immediately(self, tmp_path,
+                                                monkeypatch):
+        clock = self._attempt(
+            tmp_path, monkeypatch, retry_for=0.0,
+            config=ClientConfig(),
+        )
+        assert clock.sleeps == []

@@ -90,6 +90,21 @@ class TestClusterFromSpec:
         with pytest.raises(JobSpecError, match="speed"):
             cluster_from_spec({"nodes": [{"name": "x"}]})
 
+    @pytest.mark.parametrize("spec, match", [
+        ({"nodes": [{"speed": 1.0, "latency": "bogus"}]}, "latency"),
+        ({"nodes": [{"speed": "fast"}]}, "speed"),
+        ({"nodes": [{"speed": -1.0}]}, "bad node 0"),
+        ({"nodes": "nope"}, "array"),
+        ({"workers": "many"}, "workers"),
+        ({"master_service": [1, 2]}, "master_service"),
+    ])
+    def test_junk_values_become_bad_spec(self, spec, match):
+        # Every conversion must surface as a JobSpecError (-> the
+        # daemon's bad-spec rejection), never escape and kill the
+        # connection handler.
+        with pytest.raises(JobSpecError, match=match):
+            cluster_from_spec(spec)
+
 
 class TestJobFromSpec:
     SPEC = {
@@ -98,6 +113,13 @@ class TestJobFromSpec:
         "cluster": {"workers": 3},
         "tag": "t",
     }
+
+    def test_junk_chaos_scale_rejected(self):
+        spec = dict(self.SPEC)
+        spec["chaos"] = {"seed": 1, "faults": []}
+        spec["chaos_scale"] = "big"
+        with pytest.raises(JobSpecError, match="chaos_scale"):
+            job_from_spec(spec)
 
     def test_builds_the_one_shot_job(self):
         job = job_from_spec(self.SPEC)
