@@ -149,14 +149,23 @@ class SimJob(object):
             self.describe().encode("utf-8")
         ).hexdigest()
 
-    def run(self) -> SimResult:
-        """Execute this job in the current process."""
+    def run(self, collector=None) -> SimResult:
+        """Execute this job in the current process.
+
+        ``collector`` (optional) replaces the internal buffer used
+        when ``collect_events`` is set, so a caller can observe the
+        identical events live (e.g. the service pool streaming them to
+        subscribers) without perturbing the run: the collector must
+        retain its events (``.events``) for ``SimResult.obs_events``.
+        """
         kwargs = dict(self.params)
         trace = None
         if self.collect_events and "collector" not in kwargs:
-            from .obs import BufferedCollector
+            if collector is None:
+                from .obs import BufferedCollector
 
-            trace = BufferedCollector()
+                collector = BufferedCollector()
+            trace = collector
             kwargs["collector"] = trace
         if self.engine == "tree":
             result = simulate_tree(self.workload, self.cluster, **kwargs)

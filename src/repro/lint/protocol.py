@@ -190,8 +190,9 @@ def check_rep304(modules, config: LintConfig) -> Iterator[Finding]:
 
 def _op_literals(mod: ModuleInfo):
     """(op, node) for wire-op string literals: ``{"op": "x"}`` dict
-    entries, ``doc["op"] = "x"`` assignments, and ``op == "x"``
-    comparisons."""
+    entries, ``doc["op"] = "x"`` assignments, ``op == "x"``
+    comparisons, and ``op in ("x", "y")`` membership tests (the shape
+    a dispatch arm handling aliased ops takes)."""
     for node in ast.walk(mod.tree):
         if isinstance(node, ast.Dict):
             for key, value in zip(node.keys, node.values):
@@ -207,6 +208,19 @@ def _op_literals(mod: ModuleInfo):
                         and isinstance(node.value, ast.Constant) \
                         and isinstance(node.value.value, str):
                     yield node.value.value, node.value
+        elif isinstance(node, ast.Compare) and len(node.ops) == 1 \
+                and isinstance(node.ops[0], (ast.In, ast.NotIn)):
+            if not ((isinstance(node.left, ast.Name)
+                     and node.left.id == "op")
+                    or (isinstance(node.left, ast.Attribute)
+                        and node.left.attr == "op")):
+                continue
+            container = node.comparators[0]
+            if isinstance(container, (ast.Tuple, ast.List, ast.Set)):
+                for elt in container.elts:
+                    if isinstance(elt, ast.Constant) \
+                            and isinstance(elt.value, str):
+                        yield elt.value, elt
         elif isinstance(node, ast.Compare) and len(node.ops) == 1 \
                 and isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
             sides = (node.left, *node.comparators)

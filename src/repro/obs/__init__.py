@@ -35,6 +35,15 @@ The disabled path is ~free: instrumentation sites gate on a falsy
 an event (guarded by ``benchmarks/test_bench_obs.py``).
 """
 
+from .critpath import (
+    CATEGORIES,
+    ChainLink,
+    CritPathReport,
+    DriftReport,
+    WorkerBreakdown,
+    critical_path,
+    fastpath_drift,
+)
 from .collect import (
     NULL,
     BufferedCollector,
@@ -77,6 +86,7 @@ from .metrics import (
     metrics_from_events,
 )
 from .report import WorkerSummary, summarize_workers, trace_report
+from .timeseries import RollingMetrics, RollingWindow
 
 __all__ = [
     "EVENT_KINDS",
@@ -113,4 +123,13 @@ __all__ = [
     "WorkerSummary",
     "summarize_workers",
     "trace_report",
+    "RollingWindow",
+    "RollingMetrics",
+    "CATEGORIES",
+    "WorkerBreakdown",
+    "ChainLink",
+    "CritPathReport",
+    "DriftReport",
+    "critical_path",
+    "fastpath_drift",
 ]

@@ -98,18 +98,28 @@ class Histogram(object):
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile from bucket upper bounds."""
+        """Approximate quantile from bucket upper bounds.
+
+        The extremes are exact: q=0 returns the observed minimum and
+        q=1 the observed maximum (a bucket bound would misreport both
+        -- ``seen >= q * count`` is trivially true at q=0).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        assert self.min is not None and self.max is not None
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         target = q * self.count
         seen = 0
         for bound, n in zip(self.bounds, self.counts):
             seen += n
             if seen >= target:
                 return bound
-        return self.max if self.max is not None else self.bounds[-1]
+        return self.max
 
     def snapshot(self) -> dict:
         return {

@@ -107,6 +107,7 @@ class ServiceClient(object):
         self._sock = sock
         self.tenant = tenant
         self._seq = 0
+        self._subscribed = False
         hello = self._request({"op": "hello", "tenant": tenant})
         self.server_info = {
             k: v for k, v in hello.items() if k not in ("ok", "seq")
@@ -264,3 +265,69 @@ class ServiceClient(object):
                 {"op": "kill-worker", "worker": slot}
             )["killed"]
         )
+
+    def subscribe(self, tenant: Optional[str] = None) -> dict[str, Any]:
+        """Turn this connection into a live event stream.
+
+        After this call the daemon pushes ``{"watch": "events", "n":
+        ..., "drops": ..., "tenant": ..., "events": [...]}`` frames as
+        jobs run; read them with :meth:`next_frame` or iterate
+        :meth:`watch` instead of issuing further requests on this
+        connection.  ``tenant='*'`` subscribes to every tenant's
+        stream; the default is this client's own tenant.
+        """
+        if self._subscribed:
+            raise ServiceError(
+                "already-subscribed",
+                "this connection is already a stream",
+            )
+        doc: dict[str, Any] = {"op": "subscribe"}
+        doc["tenant"] = tenant if tenant is not None else self.tenant
+        reply = self._checked(doc)
+        self._subscribed = True
+        return reply
+
+    def next_frame(
+        self, timeout: Optional[float] = None
+    ) -> Optional[dict[str, Any]]:
+        """One pushed stream frame (after :meth:`subscribe`).
+
+        Returns ``None`` on a clean end of stream (daemon closed the
+        connection).  ``timeout`` overrides the socket timeout for
+        this read; ``socket.timeout`` propagates on expiry.
+        """
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        return recv_frame(self._sock)
+
+    def watch(
+        self,
+        tenant: Optional[str] = None,
+        job_id: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Generator over pushed stream frames (subscribes first).
+
+        Yields each ``{"watch": ...}`` frame as a dict.  The stream
+        ends (StopIteration) on the daemon's terminal ``{"watch":
+        "end"}`` frame, on a clean connection close, or -- when
+        ``job_id`` is given -- right after the frame carrying that
+        job's terminal ``job-result`` / ``job-reject`` event, which is
+        how ``repro-service watch --job`` knows it is done.
+        """
+        if not self._subscribed:
+            self.subscribe(tenant=tenant)
+        needle = f"job={job_id}" if job_id is not None else None
+        while True:
+            frame = self.next_frame(timeout=timeout)
+            if frame is None:
+                return
+            yield frame
+            if frame.get("watch") == "end":
+                return
+            if needle is None:
+                continue
+            for ev in frame.get("events", ()):
+                if ev.get("kind") in ("job-result", "job-reject") \
+                        and needle in ev.get("detail", "").split():
+                    return

@@ -54,16 +54,63 @@ _log = get_logger("service.pool")
 DEFAULT_MAX_REQUEUES = 3
 
 
-def _execute_payload(job, want_results: bool, want_trace: bool) -> dict:
+class _StreamCollector(object):
+    """Truthy collector that forwards events over the worker pipe.
+
+    Retains the full event list (so the result payload and digest are
+    byte-identical to an unstreamed run) while batching compact dict
+    forms to the pump as ``("ev", job_id, batch)`` messages.  Send
+    failures are swallowed: streaming is best-effort and must never
+    fail the job itself.
+    """
+
+    BATCH = 64
+
+    def __init__(self, send, job_id: str) -> None:
+        self._send = send
+        self._job_id = job_id
+        self._pending: list[dict] = []
+        self.events: list = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    def emit(self, event) -> None:
+        self.events.append(event)
+        self._pending.append(event.to_dict())
+        if len(self._pending) >= self.BATCH:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        try:
+            self._send(("ev", self._job_id, batch))
+        except (OSError, ValueError, BrokenPipeError):
+            pass  # daemon went away; the job still finishes
+
+    def close(self) -> None:
+        self.flush()
+
+
+def _execute_payload(
+    job, want_results: bool, want_trace: bool, collector=None
+) -> dict:
     """Run one job in the current process; JSON-safe result payload.
 
     The digest is computed *here*, from the same
     :func:`~repro.obs.stream_digest` a one-shot caller would apply to
     ``job.run().obs_events`` -- that equality is the service's
-    bit-exactness contract.
+    bit-exactness contract.  ``collector`` (a
+    :class:`_StreamCollector`) taps the identical events live without
+    perturbing that digest.
     """
     try:
-        result = job.run()
+        if collector is not None:
+            result = job.run(collector=collector)
+        else:
+            result = job.run()
     except BaseException as exc:  # noqa: BLE001 - ferried to the client
         return {
             "ok": False,
@@ -133,8 +180,17 @@ def service_worker_main(
                 return  # daemon went away: die quietly
             if msg[0] == "stop":
                 return
-            _op, job_id, job, want_results, want_trace = msg
-            payload = _execute_payload(job, want_results, want_trace)
+            _op, job_id, job, want_results, want_trace, want_stream = msg
+            collector = (
+                _StreamCollector(_send, job_id) if want_stream else None
+            )
+            payload = _execute_payload(
+                job, want_results, want_trace, collector=collector
+            )
+            if collector is not None:
+                # Pipe order is delivery order: every chunk event is
+                # on the wire before the terminal result.
+                collector.flush()
             try:
                 _send(("done", job_id, payload))
             except (OSError, ValueError, BrokenPipeError):
@@ -152,6 +208,7 @@ class JobRecord(object):
     job: SimJob
     want_results: bool = False
     want_trace: bool = False
+    want_stream: bool = False
     state: str = "queued"  # queued | running | done | failed
     worker: int = -1
     incarnation: int = -1
@@ -197,6 +254,9 @@ class WorkerPool(object):
         config: Optional[RuntimeConfig] = None,
         on_complete: Optional[Callable[[JobRecord], None]] = None,
         on_idle: Optional[Callable[[], None]] = None,
+        on_events: Optional[
+            Callable[[JobRecord, list], None]
+        ] = None,
         max_requeues: int = DEFAULT_MAX_REQUEUES,
         mp_context: str = "fork",
     ) -> None:
@@ -211,6 +271,7 @@ class WorkerPool(object):
         )
         self.on_complete = on_complete or (lambda record: None)
         self.on_idle = on_idle or (lambda: None)
+        self.on_events = on_events or (lambda record, batch: None)
         self.max_requeues = int(max_requeues)
         self._ctx = mp.get_context(mp_context)
         self._handles: list[_Handle] = [
@@ -490,8 +551,27 @@ class WorkerPool(object):
             handle.last_seen = time.monotonic()
             if msg[0] == "hb":
                 continue
+            if msg[0] == "ev":
+                self._handle_events(handle, msg[1], msg[2])
+                continue
             if msg[0] == "done":
                 self._handle_done(handle, msg[1], msg[2])
+
+    def _handle_events(
+        self, handle: _Handle, job_id: str, batch: list
+    ) -> None:
+        """Chunk-level events streamed mid-run by a worker.
+
+        The same freshness rule as results applies: only the delivery
+        the ledger currently expects from this slot counts (a dead
+        incarnation's pipe is closed in :meth:`_revive` before its job
+        is requeued, so stale batches cannot arrive at all; this guard
+        covers the pipe-buffer race on the same connection).
+        """
+        record = handle.record
+        if record is None or record.job_id != job_id:
+            return
+        self.on_events(record, batch)
 
     def _handle_done(
         self, handle: _Handle, job_id: str, payload: dict
@@ -619,6 +699,7 @@ class WorkerPool(object):
                     record.job,
                     record.want_results,
                     record.want_trace,
+                    record.want_stream,
                 ))
             except (OSError, ValueError, BrokenPipeError):
                 # The slot died between the liveness check and the

@@ -53,6 +53,10 @@ MAX_FRAME = 32 * 1024 * 1024
 OPS = frozenset({
     "hello", "ping", "submit", "wait", "status", "metrics",
     "trace", "log", "drain", "chaos", "kill-worker",
+    # Live telemetry: ``subscribe`` turns the connection into an event
+    # stream (the daemon pushes chunk-level ObsEvent frames while jobs
+    # run); ``watch`` is its client-facing alias used by the CLI.
+    "subscribe", "watch",
 })
 
 _LEN = struct.Struct(">I")

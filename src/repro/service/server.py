@@ -30,9 +30,18 @@ WorkerPool`.  The production concerns, in the order a job meets them:
   source ``service``) and in a :class:`~repro.obs.MetricsRegistry`
   served by the ``metrics`` op -- the ``/metrics`` snapshot.
 
+* **live telemetry** -- a ``subscribe`` (alias ``watch``) op turns a
+  connection into a push stream: chunk-level ObsEvents forwarded from
+  the pool workers mid-run, job-level lifecycle events, per-subscriber
+  bounded queues with explicit drop accounting (a slow watcher can
+  never block the pool or another tenant), and rolling time-series
+  gauges (:class:`repro.obs.timeseries.RollingMetrics`) in the
+  ``metrics`` snapshot.
+
 Protocol ops (every request may carry a ``seq`` echoed in the reply):
 ``hello``, ``submit``, ``wait``, ``status``, ``metrics``, ``trace``,
-``log``, ``drain``, ``chaos``, ``kill-worker``, ``ping``.
+``log``, ``drain``, ``chaos``, ``kill-worker``, ``ping``,
+``subscribe`` / ``watch``.
 """
 
 from __future__ import annotations
@@ -44,7 +53,12 @@ import signal as _signal
 from typing import Any, Optional
 
 from .. import cache as _cache
-from ..obs import BufferedCollector, MetricsRegistry, ObsEvent
+from ..obs import (
+    BufferedCollector,
+    MetricsRegistry,
+    ObsEvent,
+    RollingMetrics,
+)
 from ..obs.logutil import get_logger
 from ..runtime.config import RuntimeConfig
 from .jobs import JobSpecError, job_from_spec
@@ -57,6 +71,31 @@ _log = get_logger("service.server")
 
 #: Event source tag for job-level lifecycle events.
 _SRC = "service"
+
+#: Bounded per-subscriber queue: a watcher that cannot keep up loses
+#: event batches (counted in its ``drops``) instead of backpressuring
+#: the pool pump or the other tenants.
+SUBSCRIBER_QUEUE = 256
+
+#: Width (seconds of service clock) of the rolling telemetry window.
+ROLLING_WINDOW = 60.0
+
+
+class _Subscription(object):
+    """One live watcher: a tenant filter and a bounded frame queue."""
+
+    __slots__ = ("tenant", "queue", "drops", "n")
+
+    def __init__(self, tenant: Optional[str]) -> None:
+        self.tenant = tenant  # None means every tenant
+        self.queue: asyncio.Queue = asyncio.Queue(
+            maxsize=SUBSCRIBER_QUEUE
+        )
+        self.drops = 0   # cumulative events lost to the bound
+        self.n = 0       # monotone stream-frame counter
+
+    def wants(self, tenant: str) -> bool:
+        return self.tenant is None or self.tenant == tenant
 
 
 @dataclasses.dataclass(frozen=True)
@@ -117,12 +156,21 @@ class ServiceServer(object):
             config=config.runtime,
             on_complete=self._on_complete_threadsafe,
             on_idle=self._on_idle_threadsafe,
+            on_events=self._on_events_threadsafe,
             max_requeues=config.max_requeues,
         )
         self.metrics = MetricsRegistry()
+        #: Rolling time-series windows keyed on the service clock.
+        self.rolling = RollingMetrics(width=ROLLING_WINDOW)
         #: Per-tenant job-level event streams (plus ``pool.obs`` holds
         #: nothing server-side; the merged view is :meth:`events_for`).
         self.tenant_obs: dict[str, BufferedCollector] = {}
+        #: Merged-view cache: per-tenant append indices + the sorted
+        #: merge so repeated polls are incremental, not O(total).
+        self._merged: list[ObsEvent] = []
+        self._merged_idx: dict[str, int] = {}
+        self._subscribers: list[_Subscription] = []
+        self._stream_tasks: set[asyncio.Task] = set()
         self._records: dict[str, JobRecord] = {}
         self._futures: dict[str, asyncio.Future] = {}
         self._ids = itertools.count(1)
@@ -197,6 +245,11 @@ class ServiceServer(object):
 
     async def shutdown(self) -> None:
         """Close the listener and stop the pool (hard stop)."""
+        self._end_subscriptions()
+        if self._stream_tasks:
+            # Let the writer tasks flush their terminal frames; a
+            # wedged peer cannot hold shutdown beyond the timeout.
+            await asyncio.wait(set(self._stream_tasks), timeout=1.0)
         for task in self._chaos_tasks:
             task.cancel()
         if self._server is not None:
@@ -265,22 +318,106 @@ class ServiceServer(object):
         if self.draining and self._resolving == 0 and self.pool.idle():
             self._drained.set()
 
-    def _emit(self, tenant: str, event: ObsEvent) -> None:
+    def _on_events_threadsafe(
+        self, record: JobRecord, batch: list
+    ) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._on_events, record, batch)
+
+    def _on_events(self, record: JobRecord, batch: list) -> None:
+        """Chunk-level events a worker streamed mid-run (loop thread).
+
+        They join the tenant's server-side trace (so the trace op and
+        the subscription stream describe the same events), feed the
+        rolling windows at *receive* time (per-job sim clocks all
+        start at 0 and would collide), and fan out to subscribers.
+        """
+        at = self.pool.now()
+        events = [ObsEvent.from_dict(doc) for doc in batch]
+        for ev in events:
+            self._record_event(record.tenant, ev)
+            self.rolling.observe(ev, at=at)
+        self.metrics.counter("stream_events_total").inc(len(events))
+        self._publish(record.tenant, batch, job_id=record.job_id)
+
+    def _record_event(self, tenant: str, event: ObsEvent) -> None:
         bucket = self.tenant_obs.get(tenant)
         if bucket is None:
             bucket = self.tenant_obs[tenant] = BufferedCollector()
         bucket.emit(event)
 
+    def _emit(self, tenant: str, event: ObsEvent) -> None:
+        """Record a job-level event and push it to live watchers."""
+        self._record_event(tenant, event)
+        self.rolling.observe(event, at=self.pool.now())
+        self._publish(tenant, [event.to_dict()])
+
+    def _publish(
+        self, tenant: str, batch: list, job_id: Optional[str] = None
+    ) -> None:
+        """Fan one event batch out to every matching subscriber.
+
+        ``put_nowait`` against the bounded queue: a full (slow)
+        subscriber loses the batch and its ``drops`` counter grows --
+        the pool and the other watchers never wait.
+        """
+        if not self._subscribers:
+            return
+        item: dict[str, Any] = {"tenant": tenant, "events": batch}
+        if job_id is not None:
+            item["job"] = job_id
+        for sub in self._subscribers:
+            if not sub.wants(tenant):
+                continue
+            try:
+                sub.queue.put_nowait(item)
+            except asyncio.QueueFull:
+                sub.drops += len(batch)
+                self.metrics.counter("stream_drops_total").inc(
+                    len(batch)
+                )
+
     def events_for(self, tenant: Optional[str] = None) -> list[ObsEvent]:
-        """One tenant's job-level stream, or every tenant's merged."""
+        """One tenant's event stream, or every tenant's merged.
+
+        The merged view is maintained incrementally: per-tenant append
+        indices track what has already been folded in, so a poll after
+        k new events costs O(k log k) amortized (timsort over a
+        mostly-sorted list), not O(total).  The returned list is
+        shared with the cache on the merged path -- treat it as
+        read-only.
+        """
         if tenant is not None:
             bucket = self.tenant_obs.get(tenant)
             return list(bucket.events) if bucket is not None else []
-        merged: list[ObsEvent] = []
+        fresh = 0
         for name in sorted(self.tenant_obs):
-            merged.extend(self.tenant_obs[name].events)
-        merged.sort(key=lambda ev: ev.t)
-        return merged
+            events = self.tenant_obs[name].events
+            idx = self._merged_idx.get(name, 0)
+            if idx < len(events):
+                self._merged.extend(events[idx:])
+                fresh += len(events) - idx
+                self._merged_idx[name] = len(events)
+        if fresh:
+            self._merged.sort(key=lambda ev: ev.t)
+        return self._merged
+
+    def events_since(
+        self, tenant: str, cursor: int = 0
+    ) -> tuple[list[ObsEvent], int]:
+        """Incremental per-tenant poll: events after ``cursor``.
+
+        Returns ``(new_events, next_cursor)``; pass the cursor back to
+        get only what arrived since.  O(new) per call.
+        """
+        bucket = self.tenant_obs.get(tenant)
+        if bucket is None:
+            return [], cursor
+        events = bucket.events
+        if cursor >= len(events):
+            return [], len(events)
+        return list(events[cursor:]), len(events)
 
     # -- admission ----------------------------------------------------------
 
@@ -328,6 +465,13 @@ class ServiceServer(object):
             job=job,
             want_results=bool(spec.get("results")),
             want_trace=bool(spec.get("trace")),
+            # Stream chunk events when the spec asks for it or when a
+            # live subscriber is already watching this tenant.  (The
+            # flag does not enter the job's identity/cache key, and the
+            # streamed events are the same objects the digest is
+            # computed from -- the bit-exactness contract holds.)
+            want_stream=bool(spec.get("stream"))
+            or self._has_subscriber(tenant),
         )
         self._records[job_id] = record
         self._futures[job_id] = asyncio.get_running_loop() \
@@ -402,6 +546,16 @@ class ServiceServer(object):
             1 for entry in self.pool.log if entry["ev"] == "worker-death"
         )
         self.metrics.counter("worker_deaths_total").value = float(deaths)
+        self.metrics.gauge("stream_subscribers").set(
+            len(self._subscribers)
+        )
+        rolling = self.rolling.snapshot(now=self.pool.now())
+        for name in (
+            "chunk_rate", "iteration_rate", "result_rate",
+            "fault_rate", "job_rate", "utilization", "imbalance",
+            "busy_sigma",
+        ):
+            self.metrics.gauge(f"rolling_{name}").set(rolling[name])
         return self.metrics.snapshot()
 
     # -- chaos ----------------------------------------------------------------
@@ -422,22 +576,74 @@ class ServiceServer(object):
 
     # -- connection handling ---------------------------------------------------
 
+    def _has_subscriber(self, tenant: str) -> bool:
+        return any(sub.wants(tenant) for sub in self._subscribers)
+
+    async def _stream_to(
+        self,
+        sub: _Subscription,
+        writer: asyncio.StreamWriter,
+        wlock: asyncio.Lock,
+    ) -> None:
+        """Push queued event batches to one subscriber until told to
+        stop (a ``None`` sentinel) or the peer goes away.
+
+        Every frame carries the subscription's monotone ``n`` and its
+        *cumulative* ``drops``, so a reader can both order frames and
+        see exactly how much it missed at any point; the sentinel
+        produces a final ``{"watch": "end"}`` frame with the closing
+        totals.
+        """
+        try:
+            while True:
+                item = await sub.queue.get()
+                sub.n += 1
+                if item is None:
+                    frame: dict[str, Any] = {"watch": "end"}
+                else:
+                    frame = {"watch": "events", **item}
+                frame["n"] = sub.n
+                frame["drops"] = sub.drops
+                async with wlock:
+                    await write_frame(writer, frame)
+                if item is None:
+                    return
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+
+    def _end_subscriptions(self) -> None:
+        """Queue the terminal frame for every live subscriber."""
+        for sub in self._subscribers:
+            try:
+                sub.queue.put_nowait(None)
+            except asyncio.QueueFull:
+                # Full queue: the watcher is hopelessly behind; the
+                # connection teardown will cancel its writer task.
+                pass
+
     async def _handle_connection(
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
         tenant = "default"
+        # Replies and pushed stream frames share the writer; the lock
+        # keeps their drains from interleaving.
+        wlock = asyncio.Lock()
+        subscription: Optional[_Subscription] = None
+        stream_task: Optional[asyncio.Task] = None
         try:
             while True:
                 try:
                     doc = await read_frame(reader)
                 except ProtocolError as exc:
-                    await write_frame(
-                        writer,
-                        _reply(None, ok=False, error="protocol",
-                               message=str(exc)),
-                    )
+                    async with wlock:
+                        await write_frame(
+                            writer,
+                            _reply(None, ok=False, error="protocol",
+                                   message=str(exc)),
+                        )
                     break
                 if doc is None:
                     break
@@ -489,21 +695,58 @@ class ServiceServer(object):
                                        message=str(exc))
                 elif op == "ping":
                     reply = _reply(seq, ok=True, pong=True)
+                elif op in ("subscribe", "watch"):
+                    if subscription is not None:
+                        reply = _reply(
+                            seq, ok=False, error="already-subscribed",
+                        )
+                    else:
+                        raw = doc.get("tenant", tenant)
+                        which = None if raw == "*" else str(raw)
+                        subscription = _Subscription(which)
+                        self._subscribers.append(subscription)
+                        self.metrics.counter(
+                            "subscriptions_total"
+                        ).inc()
+                        stream_task = asyncio.get_running_loop() \
+                            .create_task(self._stream_to(
+                                subscription, writer, wlock,
+                            ))
+                        self._stream_tasks.add(stream_task)
+                        stream_task.add_done_callback(
+                            self._stream_tasks.discard
+                        )
+                        reply = _reply(
+                            seq, ok=True, subscribed=True,
+                            tenant=raw,
+                            queue_capacity=SUBSCRIBER_QUEUE,
+                        )
                 else:
                     reply = _reply(
                         seq, ok=False, error="unknown-op",
                         message=f"unknown op {op!r}; valid ops: "
                                 f"{', '.join(sorted(OPS))}",
                     )
-                await write_frame(writer, reply)
+                async with wlock:
+                    await write_frame(writer, reply)
         except (ConnectionResetError, BrokenPipeError,
                 asyncio.CancelledError):
             pass
         finally:
+            if subscription is not None:
+                try:
+                    self._subscribers.remove(subscription)
+                except ValueError:  # pragma: no cover
+                    pass
+            if stream_task is not None:
+                stream_task.cancel()
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                # CancelledError lands here when the loop is torn
+                # down mid-close (drain); the task is done either way.
                 pass
 
     def _chaos_op(self, doc: dict, seq) -> dict:

@@ -55,6 +55,7 @@ __all__ = [
     "audit_events",
     "audit_service_log",
     "audit_sim",
+    "audit_subscription",
     "audit_run",
     "replay_cut_points",
 ]
@@ -779,4 +780,135 @@ def audit_service_log(
                     f"requeued nor failed"
                 )
                 break
+    return report
+
+
+def audit_subscription(
+    frames: Iterable[dict],
+    trace: Optional[Iterable] = None,
+    complete: bool = False,
+    subject: str = "subscription",
+) -> AuditReport:
+    """Audit a live-telemetry subscription's pushed frames.
+
+    ``frames`` is the sequence of ``{"watch": ...}`` documents a
+    subscriber read off one connection (what
+    :meth:`repro.service.ServiceClient.watch` yields).  The audit
+    proves the streaming contract:
+
+    * **frame shape** -- every frame is an ``events`` or ``end``
+      document carrying an integer sequence number ``n`` and a
+      cumulative ``drops`` counter;
+    * **gapless sequencing** -- ``n`` starts at 1 and increments by
+      exactly 1 per frame: a missing or reordered frame is visible as
+      a gap, independent of its payload;
+    * **drop accounting** -- ``drops`` never decreases (it is the
+      *cumulative* count of events the daemon shed to protect the
+      pool from a slow subscriber);
+    * **termination** -- at most one ``end`` frame, and only as the
+      final frame;
+    * **fidelity** (when ``trace`` is given) -- every streamed event
+      also appears in the server-side tenant trace: streaming is a
+      tap, never a second source of truth.  With ``complete=True``
+      (a subscription that covered the whole run, ``drops == 0``)
+      the two multisets must be *equal*, so the subscriber holds a
+      bit-identical copy of the ledger-consistent trace.
+    """
+    import json as _json
+
+    report = AuditReport(subject=subject)
+    docs = list(frames)
+
+    report.checks.append("frame-shape")
+    for i, frame in enumerate(docs):
+        if not isinstance(frame, dict) \
+                or frame.get("watch") not in ("events", "end") \
+                or not isinstance(frame.get("n"), int) \
+                or not isinstance(frame.get("drops"), int):
+            if len(report.violations) < 5:
+                report.violations.append(
+                    f"frame {i} is not a stream document: {frame!r}"
+                )
+    if report.violations:
+        return report
+
+    report.checks.append("sequence")
+    for i, frame in enumerate(docs):
+        if frame["n"] != i + 1:
+            report.violations.append(
+                f"frame {i} carries n={frame['n']} (want {i + 1}) -- "
+                f"gap or reorder"
+            )
+            break
+
+    report.checks.append("drop-accounting")
+    last_drops = 0
+    for i, frame in enumerate(docs):
+        if frame["drops"] < last_drops:
+            report.violations.append(
+                f"frame {i} drops={frame['drops']} < previous "
+                f"{last_drops} -- cumulative counter went backwards"
+            )
+            break
+        last_drops = frame["drops"]
+
+    report.checks.append("termination")
+    ends = [i for i, f in enumerate(docs) if f["watch"] == "end"]
+    if len(ends) > 1:
+        report.violations.append(
+            f"{len(ends)} end frames (want at most 1)"
+        )
+    elif ends and ends[0] != len(docs) - 1:
+        report.violations.append(
+            f"end frame at index {ends[0]} is not the final frame"
+        )
+
+    if trace is None:
+        return report
+
+    def _normalize(ev) -> str:
+        if not isinstance(ev, ObsEvent):
+            ev = ObsEvent.from_dict(ev)
+        return _json.dumps(ev.to_dict(), sort_keys=True)
+
+    streamed: dict[str, int] = {}
+    for frame in docs:
+        for ev in frame.get("events", ()):
+            key = _normalize(ev)
+            streamed[key] = streamed.get(key, 0) + 1
+    recorded: dict[str, int] = {}
+    for ev in trace:
+        key = _normalize(ev)
+        recorded[key] = recorded.get(key, 0) + 1
+
+    report.checks.append("fidelity")
+    for key, count in streamed.items():
+        if count > recorded.get(key, 0):
+            report.violations.append(
+                f"streamed event not in (or exceeding) the server "
+                f"trace: {key}"
+            )
+            if sum(
+                1 for v in report.violations
+                if v.startswith("streamed event")
+            ) >= 5:
+                break
+
+    if complete:
+        report.checks.append("completeness")
+        if last_drops:
+            report.violations.append(
+                f"complete subscription audit with drops={last_drops} "
+                f"-- a lossy stream cannot be complete"
+            )
+        missing = sum(
+            count - streamed.get(key, 0)
+            for key, count in recorded.items()
+            if count > streamed.get(key, 0)
+        )
+        if missing:
+            report.violations.append(
+                f"{missing} trace event(s) never reached the "
+                f"subscriber despite drops=0"
+            )
     return report

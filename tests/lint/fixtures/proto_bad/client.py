@@ -15,3 +15,9 @@ def dispatch(op: str):
     if op == "statuss":     # typo'd arm -> REP305
         return "status"
     return None
+
+
+def stream(op: str):
+    if op in ("ping", "watchh"):    # typo'd alias -> REP305
+        return "stream"
+    return None

@@ -15,3 +15,9 @@ def dispatch(op: str):
     if op == "status":
         return "status"
     return None
+
+
+def stream(op: str):
+    if op in ("ping", "status"):
+        return "stream"
+    return None

@@ -26,8 +26,9 @@ class TestProtoFixtureTrees:
         # REP303: table3 not offered, figure undispatched, table3
         # never compared
         assert len(by_rule.get("REP303", [])) == 3
-        # REP305: "submitt" assignment and the "statuss" dispatch arm
-        assert len(by_rule.get("REP305", [])) == 2
+        # REP305: "submitt" assignment, the "statuss" dispatch
+        # arm, and the "watchh" alias in the membership test
+        assert len(by_rule.get("REP305", [])) == 3
 
     def test_bad_tree_messages_name_the_authority(self):
         findings = lint_fixture("proto_bad")

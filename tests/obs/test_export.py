@@ -71,6 +71,36 @@ def test_chrome_trace_layout(tmp_path):
     assert json.loads(out.read_text())["traceEvents"]
 
 
+def test_chrome_trace_adapt_and_fault_kinds():
+    # The meta-scheduler and chaos kinds render as named instants on
+    # the emitting worker's thread, with the detail in the name.
+    events = [
+        ObsEvent("adapt", "sim.master", 0.2, worker=0, start=0,
+                 stop=64, stage=1, value=0.9,
+                 detail="select TSS"),
+        ObsEvent("adapt", "sim.master", 0.8, worker=2, start=64,
+                 stop=128, stage=2, value=0.7,
+                 detail="retune CSS(64) k=12"),
+        ObsEvent("fault", "chaos", 0.4, worker=1, detail="stall",
+                 value=0.25),
+        ObsEvent("fault", "chaos", 0.5, worker=1, detail="delay",
+                 value=0.1),
+    ]
+    trace = to_chrome_trace(events)["traceEvents"]
+    instants = [e for e in trace if e["ph"] == "i"]
+    assert len(instants) == len(events)
+    names = {e["name"] for e in instants}
+    assert names == {
+        "adapt:select TSS", "adapt:retune CSS(64) k=12",
+        "fault:stall", "fault:delay",
+    }
+    by_name = {e["name"]: e for e in instants}
+    assert by_name["adapt:select TSS"]["ts"] == pytest.approx(0.2e6)
+    assert by_name["fault:stall"]["ts"] == pytest.approx(0.4e6)
+    # no spans: neither kind carries a duration on the timeline
+    assert [e for e in trace if e["ph"] == "X"] == []
+
+
 def test_canonical_stream_keeps_only_sorted_result_intervals():
     rows = canonical_stream(EVENTS)
     assert rows == [

@@ -44,6 +44,34 @@ def test_histogram_quantiles_and_snapshot():
     assert h.quantile(0.0) <= h.quantile(1.0)
 
 
+def test_quantile_extremes_are_observed_min_and_max():
+    # q=0 used to return the first bucket bound regardless of data
+    # (seen >= target is trivially true when target == 0).
+    h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+    for v in (7.0, 42.0, 63.0):
+        h.observe(v)
+    assert h.quantile(0.0) == 7.0
+    assert h.quantile(1.0) == 63.0
+
+
+def test_quantile_single_observation():
+    h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+    h.observe(42.0)
+    assert h.quantile(0.0) == 42.0
+    assert h.quantile(0.5) == 100.0  # bucket upper bound (approx mid)
+    assert h.quantile(1.0) == 42.0
+
+
+def test_quantile_empty_and_out_of_range():
+    h = Histogram("h", buckets=(1.0,))
+    assert h.quantile(0.0) == 0.0
+    assert h.quantile(1.0) == 0.0
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+
+
 def test_registry_get_or_create_and_type_clash():
     reg = MetricsRegistry()
     assert reg.counter("x") is reg.counter("x")

@@ -1,0 +1,136 @@
+"""Rolling time-series window tests (repro.obs.timeseries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import ObsEvent, RollingMetrics, RollingWindow
+
+
+class TestRollingWindow:
+    def test_counts_and_totals_inside_window(self):
+        w = RollingWindow(width=10.0, bins=10)
+        for t in (1.0, 2.0, 3.0):
+            w.observe(t, 2.0)
+        assert w.count() == 3
+        assert w.total() == 6.0
+        assert w.mean() == 2.0
+        assert w.rate() == pytest.approx(0.3)
+        assert w.value_rate() == pytest.approx(0.6)
+
+    def test_old_observations_age_out(self):
+        w = RollingWindow(width=10.0, bins=10)
+        w.observe(1.0)
+        w.observe(25.0)
+        # At now=25 the window is [15, 25]: the t=1 bin is gone.
+        assert w.count() == 1
+        assert w.latest == 25.0
+
+    def test_bin_reuse_resets_stale_contents(self):
+        w = RollingWindow(width=4.0, bins=4)
+        w.observe(0.5, 100.0)   # slot 0 (epoch 0)
+        w.observe(4.5, 1.0)     # slot 0 again (epoch 4): must reset
+        assert w.total() == 1.0
+
+    def test_stale_observations_dropped_and_counted(self):
+        w = RollingWindow(width=5.0, bins=5)
+        w.observe(100.0)
+        w.observe(2.0)  # older than latest - width: dropped
+        assert w.count() == 1
+        assert w.stale == 1
+
+    def test_query_at_explicit_now(self):
+        w = RollingWindow(width=10.0, bins=10)
+        w.observe(3.0)
+        assert w.count(now=3.0) == 1
+        # the window has moved on: nothing inside [90, 100]
+        assert w.count(now=100.0) == 0
+
+    def test_empty_window(self):
+        w = RollingWindow(width=10.0, bins=10)
+        assert w.count() == 0
+        assert w.total() == 0.0
+        assert w.mean() == 0.0
+        assert w.latest is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RollingWindow(width=0.0)
+        with pytest.raises(ValueError):
+            RollingWindow(width=-1.0)
+        with pytest.raises(ValueError):
+            RollingWindow(width=1.0, bins=0)
+
+
+class TestRollingMetrics:
+    @staticmethod
+    def _chunk(t, worker, start, stop, dur):
+        return [
+            ObsEvent("compute", "sim.master", t, worker=worker,
+                     start=start, stop=stop, value=dur),
+            ObsEvent("result", "sim.master", t + dur, worker=worker,
+                     start=start, stop=stop),
+        ]
+
+    def test_rates_and_utilization(self):
+        rm = RollingMetrics(width=10.0, bins=10)
+        rm.observe_all(
+            self._chunk(0.0, 0, 0, 10, 2.0)
+            + self._chunk(0.0, 1, 10, 20, 2.0)
+        )
+        snap = rm.snapshot()
+        assert snap["chunk_rate"] == pytest.approx(0.2)
+        assert snap["result_rate"] == pytest.approx(0.2)
+        assert snap["iteration_rate"] == pytest.approx(2.0)
+        # both workers busy 2s of a 10s window
+        assert snap["utilization"] == pytest.approx(0.2)
+        assert snap["imbalance"] == 0.0
+        assert snap["busy_sigma"] == 0.0
+        assert snap["workers_seen"] == 2
+
+    def test_imbalance_and_sigma(self):
+        rm = RollingMetrics(width=10.0, bins=10)
+        rm.observe_all(
+            self._chunk(0.0, 0, 0, 10, 6.0)
+            + self._chunk(0.0, 1, 10, 20, 2.0)
+        )
+        snap = rm.snapshot()
+        # busy: {6, 2} -> mean 4, (max-min)/mean = 1, sigma = 2
+        assert snap["imbalance"] == pytest.approx(1.0)
+        assert snap["busy_sigma"] == pytest.approx(2.0)
+        assert snap["utilization"] == pytest.approx(0.4)
+
+    def test_fault_and_job_windows(self):
+        rm = RollingMetrics(width=10.0, bins=10)
+        rm.observe(ObsEvent("fault", "chaos", 1.0, worker=0,
+                            detail="death"))
+        rm.observe(ObsEvent("job-result", "service", 2.0, worker=0,
+                            value=0.5))
+        snap = rm.snapshot()
+        assert snap["fault_rate"] == pytest.approx(0.1)
+        assert snap["job_rate"] == pytest.approx(0.1)
+
+    def test_explicit_at_overrides_event_time(self):
+        # The daemon keys on receive time so per-job sim clocks
+        # (which all start at 0) do not collide.
+        rm = RollingMetrics(width=10.0, bins=10)
+        ev = ObsEvent("compute", "sim.master", 0.001, worker=0,
+                      start=0, stop=5, value=0.001)
+        rm.observe(ev, at=50.0)
+        assert rm.latest() == 50.0
+        assert rm.snapshot(now=50.0)["chunk_rate"] == pytest.approx(0.1)
+
+    def test_snapshot_is_json_compatible(self):
+        import json
+
+        rm = RollingMetrics(width=5.0, bins=5)
+        rm.observe_all(self._chunk(1.0, 0, 0, 4, 0.5))
+        doc = json.loads(json.dumps(rm.snapshot()))
+        assert doc["window_seconds"] == 5.0
+        assert doc["workers_seen"] == 1
+
+    def test_empty_snapshot(self):
+        snap = RollingMetrics(width=5.0).snapshot()
+        assert snap["chunk_rate"] == 0.0
+        assert snap["utilization"] == 0.0
+        assert snap["workers_seen"] == 0

@@ -12,6 +12,7 @@ from repro.verify import (
     audit_chunks,
     audit_run,
     audit_sim,
+    audit_subscription,
     replay_cut_points,
 )
 
@@ -216,3 +217,80 @@ class TestReport:
         assert "VIOLATION" in text and "gap: oops" in text
         ok = AuditReport(subject="y", checks=["coverage"])
         assert "OK" in ok.summary()
+
+
+class TestAuditSubscription:
+    """Synthetic stream frames against the live-telemetry contract."""
+
+    @staticmethod
+    def _ev(t: float, kind: str = "compute") -> dict:
+        return {"kind": kind, "source": "service", "t": t}
+
+    def _frames(self):
+        return [
+            {"watch": "events", "n": 1, "drops": 0,
+             "tenant": "a", "events": [self._ev(1.0)]},
+            {"watch": "events", "n": 2, "drops": 0,
+             "tenant": "a", "events": [self._ev(2.0)]},
+            {"watch": "end", "n": 3, "drops": 0},
+        ]
+
+    def test_clean_stream_passes(self):
+        report = audit_subscription(self._frames())
+        assert report.ok
+        assert "sequence" in report.checks
+        assert "drop-accounting" in report.checks
+
+    def test_sequence_gap_flagged(self):
+        frames = self._frames()
+        frames[1]["n"] = 5
+        report = audit_subscription(frames)
+        assert any("gap or reorder" in v for v in report.violations)
+
+    def test_drops_must_be_cumulative(self):
+        frames = self._frames()
+        frames[0]["drops"] = 4
+        report = audit_subscription(frames)
+        assert any("went backwards" in v for v in report.violations)
+
+    def test_end_frame_must_be_final(self):
+        frames = self._frames()
+        frames.append({"watch": "events", "n": 4, "drops": 0,
+                       "tenant": "a", "events": []})
+        report = audit_subscription(frames)
+        assert any("not the final frame" in v
+                   for v in report.violations)
+
+    def test_malformed_frame_flagged(self):
+        report = audit_subscription([{"watch": "events"}])
+        assert not report.ok
+
+    def test_fidelity_subset_of_trace(self):
+        trace = [self._ev(1.0), self._ev(2.0), self._ev(3.0)]
+        assert audit_subscription(self._frames(), trace=trace).ok
+        rogue = self._frames()
+        rogue[1]["events"] = [self._ev(9.0)]
+        report = audit_subscription(rogue, trace=trace)
+        assert any("not in" in v for v in report.violations)
+
+    def test_completeness_requires_every_event(self):
+        trace = [self._ev(1.0), self._ev(2.0), self._ev(3.0)]
+        report = audit_subscription(
+            self._frames(), trace=trace, complete=True
+        )
+        assert any("never reached" in v for v in report.violations)
+        full = audit_subscription(
+            self._frames(), trace=[self._ev(1.0), self._ev(2.0)],
+            complete=True,
+        )
+        assert full.ok
+
+    def test_complete_with_drops_is_contradictory(self):
+        frames = self._frames()
+        for frame in frames:
+            frame["drops"] = 2
+        report = audit_subscription(
+            frames, trace=[self._ev(1.0), self._ev(2.0)],
+            complete=True,
+        )
+        assert any("lossy" in v for v in report.violations)
